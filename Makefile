@@ -1,0 +1,35 @@
+# Convenience targets for the FINGERS reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-fast examples clean loc
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-cli:
+	$(PYTHON) -m repro.bench --out benchmarks/results
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/social_motif_census.py
+	$(PYTHON) examples/clique_communities.py
+	$(PYTHON) examples/design_space_exploration.py
+	$(PYTHON) examples/trace_and_validate.py
+	$(PYTHON) examples/software_vs_hardware.py
+
+loc:
+	find src tests benchmarks examples -name '*.py' | xargs wc -l | tail -1
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table/figure of the paper, writes the
+rendered text to ``benchmarks/results/``, and echoes it to the terminal.
+Run the full harness with::
+
+    pytest benchmarks/ --benchmark-only
+
+An in-process cache (repro.bench.runner) shares simulation runs between
+figures, so running the whole directory in one pytest session is much
+cheaper than the sum of its parts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def publish(results_dir, capsys):
+    """Write a rendered experiment to results/ and the terminal."""
+
+    def _publish(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        with capsys.disabled():
+            print(f"\n{text}\n")
+
+    return _publish

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""k-clique mining for dense-community detection (bioinformatics style).
+
+Clique listing underpins protein-complex detection and clique-percolation
+community finding — another of the paper's motivating domains.  This
+example plants dense "complexes" in a noisy background network, recovers
+them via 4- and 5-clique listing, and shows how symmetry breaking keeps
+the work proportional to the number of *distinct* cliques.
+
+Run:  python examples/clique_communities.py
+"""
+
+from collections import Counter
+
+from repro import count, embeddings
+from repro.graph import planted_cliques
+from repro.mining.api import plan_for
+from repro.pattern import automorphism_count, named_pattern
+
+
+def main() -> None:
+    # 12 planted "protein complexes" (6-cliques) in a random background.
+    graph = planted_cliques(
+        600, num_cliques=12, clique_size=6, background_p=0.01, seed=99
+    )
+    print(
+        f"network: {graph.num_vertices} vertices, {graph.num_edges} edges, "
+        "12 planted 6-vertex complexes"
+    )
+
+    # ------------------------------------------------------------------
+    # Count cliques of growing size; the planted complexes dominate.
+    # ------------------------------------------------------------------
+    for name in ("tc", "4cl", "5cl"):
+        print(f"  {name}: {count(graph, name):,}")
+
+    # Each planted 6-clique contains C(6,5) = 6 distinct 5-cliques; random
+    # background 5-cliques are essentially impossible at p = 0.01.
+    five_cliques = embeddings(graph, "5cl")
+    expected = 12 * 6
+    print(f"5-cliques found: {len(five_cliques)} (~{expected} from plants)")
+
+    # ------------------------------------------------------------------
+    # Recover the complexes: vertices appearing in many 5-cliques.
+    # ------------------------------------------------------------------
+    membership: Counter = Counter()
+    for clique in five_cliques:
+        membership.update(clique)
+    core_vertices = {v for v, n in membership.items() if n >= 3}
+    print(
+        f"vertices in >= 3 distinct 5-cliques: {len(core_vertices)} "
+        f"(12 complexes x 6 members = {12 * 6})"
+    )
+
+    # ------------------------------------------------------------------
+    # Why symmetry breaking matters: each 5-clique has |Aut| = 120
+    # automorphic orderings; restrictions keep exactly one.
+    # ------------------------------------------------------------------
+    aut = automorphism_count(named_pattern("5cl"))
+    plan = plan_for("5cl")
+    print(
+        f"\n5-clique automorphisms: {aut}; plan restrictions: "
+        f"{[str(r) for r in plan.restrictions]}"
+    )
+    print(
+        "without restrictions the engine would enumerate "
+        f"{len(five_cliques) * aut:,} embeddings instead of "
+        f"{len(five_cliques):,}"
+    )
+    assert all(a < b < c < d < e for a, b, c, d, e in five_cliques)
+    print("every listed clique is in canonical (ascending) order")
+
+
+if __name__ == "__main__":
+    main()

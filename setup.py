@@ -1,0 +1,10 @@
+"""Shim for editable installs on environments without the `wheel` package.
+
+`pip install -e .` falls back to the legacy `setup.py develop` path when a
+setup.py is present, which works offline; all real metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,77 @@
+"""``python -m repro.bench`` — regenerate every table and figure.
+
+Runs all experiments (paper tables/figures plus the ablations and the
+software study) in one process so the run cache is shared, printing each
+rendered result and optionally writing them to a directory::
+
+    python -m repro.bench                  # print everything
+    python -m repro.bench --out results/   # also write one .txt per exp
+    python -m repro.bench --only fig9 fig12
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.bench import ablations, experiments
+from repro.bench.sensitivity import (
+    sensitivity_dram_latency,
+    sensitivity_hit_latency,
+    sensitivity_noc_bandwidth,
+)
+from repro.bench.software import software_comparison, software_scaling
+
+ALL_EXPERIMENTS = {
+    "table1": experiments.table1,
+    "table2": experiments.table2,
+    "fig9": experiments.fig9,
+    "fig10": experiments.fig10,
+    "fig11": experiments.fig11,
+    "fig12": experiments.fig12,
+    "fig13": experiments.fig13,
+    "table3": experiments.table3,
+    "ablation_scheduling": ablations.ablation_scheduling,
+    "ablation_max_load": ablations.ablation_max_load,
+    "ablation_dividers": ablations.ablation_dividers,
+    "ablation_group_size": ablations.ablation_group_size,
+    "ablation_imbalance": ablations.ablation_imbalance,
+    "ablation_edge_induced": ablations.ablation_edge_induced,
+    "software_scaling": software_scaling,
+    "software_comparison": software_comparison,
+    "sensitivity_dram_latency": sensitivity_dram_latency,
+    "sensitivity_hit_latency": sensitivity_hit_latency,
+    "sensitivity_noc_bandwidth": sensitivity_noc_bandwidth,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.bench")
+    parser.add_argument("--out", help="directory for per-experiment .txt files")
+    parser.add_argument(
+        "--only", nargs="+", choices=sorted(ALL_EXPERIMENTS),
+        help="run only these experiments",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.only or list(ALL_EXPERIMENTS)
+    out_dir = pathlib.Path(args.out) if args.out else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    for name in names:
+        start = time.time()
+        result = ALL_EXPERIMENTS[name]()
+        text = result.render()
+        elapsed = time.time() - start
+        print(f"\n=== {name} ({elapsed:.1f}s) ===")
+        print(text)
+        if out_dir:
+            (out_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

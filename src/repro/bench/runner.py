@@ -1,0 +1,88 @@
+"""Paired-design experiment runner with an in-process result cache.
+
+Several figures share cells (e.g. Figure 9's single-PE baseline also
+anchors Figure 11's ablation), so runs are memoized on their full
+configuration within one process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.graph.csr import CSRGraph
+from repro.hw.api import (
+    FingersConfig,
+    FlexMinerConfig,
+    MemoryConfig,
+    SimResult,
+    simulate,
+)
+
+__all__ = ["PairResult", "run_pair", "run_cached", "clear_cache"]
+
+_CACHE: dict[tuple, SimResult] = {}
+
+
+@dataclass(frozen=True)
+class PairResult:
+    """One grid cell: a design run, its baseline run, and the speedup."""
+
+    workload: str
+    graph: str
+    ours: SimResult
+    baseline: SimResult
+
+    @property
+    def speedup(self) -> float:
+        return self.ours.speedup_over(self.baseline)
+
+
+def _key(graph_name, workload, config, memory, roots_sig):
+    return (graph_name, str(workload), config, memory, roots_sig)
+
+
+def run_cached(
+    graph: CSRGraph,
+    graph_name: str,
+    workload: str,
+    config: FingersConfig | FlexMinerConfig,
+    memory: MemoryConfig | None = None,
+    roots: Iterable[int] | None = None,
+) -> SimResult:
+    """Memoized :func:`repro.hw.api.simulate`."""
+    roots_list = list(roots) if roots is not None else None
+    roots_sig = (
+        (len(roots_list), roots_list[0], roots_list[-1])
+        if roots_list
+        else None
+    )
+    key = _key(graph_name, workload, config, memory, roots_sig)
+    if key not in _CACHE:
+        _CACHE[key] = simulate(
+            graph, workload, config, memory=memory, roots=roots_list
+        )
+    return _CACHE[key]
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def run_pair(
+    graph: CSRGraph,
+    graph_name: str,
+    workload: str,
+    config: FingersConfig | FlexMinerConfig,
+    baseline: FingersConfig | FlexMinerConfig,
+    *,
+    memory: MemoryConfig | None = None,
+    roots: Iterable[int] | None = None,
+) -> PairResult:
+    """Run one workload on two designs over identical roots."""
+    roots_list = list(roots) if roots is not None else None
+    ours = run_cached(graph, graph_name, workload, config, memory, roots_list)
+    theirs = run_cached(graph, graph_name, workload, baseline, memory, roots_list)
+    return PairResult(
+        workload=workload, graph=graph_name, ours=ours, baseline=theirs
+    )

@@ -1,0 +1,292 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+``stats``      Table-1-style statistics for a dataset analog or edge-list file.
+``plan``       Print a pattern's compiled execution plan.
+``count``      Count (or list) embeddings with the reference engine.
+``motifs``     k-motif census.
+``simulate``   Run one job on FINGERS, FlexMiner, or the software model.
+``validate``   Cross-check every executor's count on one job.
+``compare``    Both accelerator designs on one job, with the speedup.
+``bench``      Run one named experiment (table1 ... fig13, table3,
+               ablation-*) and print the paper-shaped output.
+
+Examples::
+
+    python -m repro stats --dataset Mi
+    python -m repro count tc --dataset Mi
+    python -m repro plan tt
+    python -m repro compare cyc --dataset As --pes 1
+    python -m repro bench table2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.graph.datasets import dataset_names, load_dataset
+from repro.graph.io import load_edge_list
+from repro.graph.stats import graph_stats
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_graph_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--dataset", choices=dataset_names(), help="built-in dataset analog"
+    )
+    group.add_argument("--file", help="SNAP-style edge-list file")
+
+
+def _load_graph(args: argparse.Namespace):
+    if args.dataset:
+        return load_dataset(args.dataset)
+    return load_edge_list(args.file)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FINGERS (ASPLOS 2022) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("stats", help="graph statistics (Table 1 columns)")
+    _add_graph_args(p)
+
+    p = sub.add_parser("plan", help="print a compiled execution plan")
+    p.add_argument("pattern", help="benchmark pattern name (tc, 4cl, tt, ...)")
+    p.add_argument(
+        "--edge-induced", action="store_true", help="edge-induced semantics"
+    )
+
+    p = sub.add_parser("count", help="count embeddings (reference engine)")
+    p.add_argument("pattern")
+    _add_graph_args(p)
+    p.add_argument(
+        "--edge-induced", action="store_true", help="edge-induced semantics"
+    )
+    p.add_argument(
+        "--list", type=int, metavar="N", default=None,
+        help="also print the first N embeddings",
+    )
+
+    p = sub.add_parser("motifs", help="k-motif census")
+    p.add_argument("k", type=int, choices=[2, 3, 4, 5])
+    _add_graph_args(p)
+
+    p = sub.add_parser("simulate", help="simulate one design")
+    p.add_argument("pattern")
+    _add_graph_args(p)
+    p.add_argument(
+        "--design", choices=["fingers", "flexminer", "software"],
+        default="fingers",
+    )
+    p.add_argument("--pes", type=int, default=None, help="PE / core count")
+    p.add_argument("--ius", type=int, default=24)
+    p.add_argument("--group-size", type=int, default=None)
+    p.add_argument("--root-stride", type=int, default=1)
+    p.add_argument(
+        "--schedule", choices=["dynamic", "static_interleave", "static_block"],
+        default="dynamic",
+    )
+    p.add_argument("--trace", action="store_true", help="print a text Gantt")
+
+    p = sub.add_parser("validate", help="cross-check all executors")
+    p.add_argument("pattern")
+    _add_graph_args(p)
+    p.add_argument("--software", action="store_true",
+                   help="include the multi-core software model")
+
+    p = sub.add_parser("compare", help="FINGERS vs FlexMiner on one job")
+    p.add_argument("pattern")
+    _add_graph_args(p)
+    p.add_argument("--pes", type=int, default=1, help="FINGERS PEs (baseline x2)")
+    p.add_argument("--root-stride", type=int, default=1)
+
+    p = sub.add_parser("bench", help="run one named experiment")
+    p.add_argument(
+        "experiment",
+        choices=[
+            "table1", "table2", "fig9", "fig10", "fig11", "fig12", "fig13",
+            "table3", "ablation-scheduling", "ablation-max-load",
+            "ablation-dividers", "ablation-group-size", "ablation-imbalance",
+            "software-scaling", "software-comparison",
+            "sensitivity-dram", "sensitivity-hit", "sensitivity-noc",
+        ],
+    )
+    return parser
+
+
+def _cmd_stats(args) -> int:
+    s = graph_stats(_load_graph(args))
+    print(f"vertices:      {s.num_vertices:,}")
+    print(f"edges:         {s.num_edges:,}")
+    print(f"avg degree:    {s.avg_degree}")
+    print(f"max degree:    {s.max_degree}")
+    print(f"median degree: {s.median_degree}")
+    print(f"CSR bytes:     {s.csr_bytes:,}")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from repro.mining.api import plan_for
+
+    plan = plan_for(args.pattern, vertex_induced=not args.edge_induced)
+    print(plan.describe())
+    return 0
+
+
+def _cmd_count(args) -> int:
+    from repro.mining.api import count, embeddings
+
+    graph = _load_graph(args)
+    vi = not args.edge_induced
+    total = count(graph, args.pattern, vertex_induced=vi)
+    print(f"{args.pattern}: {total:,}")
+    if args.list:
+        for emb in embeddings(graph, args.pattern, vertex_induced=vi,
+                              limit=args.list):
+            print("  " + "-".join(str(v) for v in emb))
+    return 0
+
+
+def _cmd_motifs(args) -> int:
+    from repro.mining.api import motif_census
+
+    census = motif_census(_load_graph(args), args.k)
+    for name, value in sorted(census.items(), key=lambda kv: -kv[1]):
+        print(f"{name:20s} {value:>12,}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    graph = _load_graph(args)
+    roots = list(range(0, graph.num_vertices, args.root_stride))
+    if args.design == "software":
+        from repro.sw import SoftwareConfig, simulate_software
+
+        cfg = SoftwareConfig(num_cores=args.pes or 8)
+        res = simulate_software(graph, args.pattern, cfg, roots=roots)
+        print(f"design:  {res.design}")
+        print(f"count:   {res.count:,}")
+        print(f"cycles:  {res.cycles:,.0f}")
+        print(f"steals:  {res.total_steals}")
+        print(f"imbalance: {res.load_imbalance:.2f}")
+        return 0
+
+    from repro.hw.api import FingersConfig, FlexMinerConfig, simulate
+    from repro.hw.trace import Tracer, render_gantt
+
+    if args.design == "fingers":
+        config = FingersConfig(
+            num_pes=args.pes or 20,
+            num_ius=args.ius,
+            task_group_size=args.group_size,
+        )
+    else:
+        config = FlexMinerConfig(num_pes=args.pes or 40)
+    tracer = Tracer() if args.trace else None
+    res = simulate(
+        graph, args.pattern, config,
+        roots=roots, schedule=args.schedule, tracer=tracer,
+    )
+    print(f"design:  {res.chip.design} ({res.chip.num_pes} PEs)")
+    print(f"count:   {res.count:,}")
+    print(f"cycles:  {res.cycles:,.0f}")
+    print(f"tasks:   {res.chip.combined.tasks:,}")
+    print(f"imbalance: {res.chip.load_imbalance:.2f}")
+    print(f"shared-cache miss rate: {100 * res.chip.shared_cache.miss_rate:.1f}%")
+    if tracer is not None:
+        print(render_gantt(tracer))
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.mining.validate import cross_validate
+
+    report = cross_validate(
+        _load_graph(args), args.pattern, include_software=args.software
+    )
+    print(report)
+    return 0 if report.consistent else 1
+
+
+def _cmd_compare(args) -> int:
+    from repro.hw.api import FingersConfig, FlexMinerConfig, simulate
+
+    graph = _load_graph(args)
+    roots = list(range(0, graph.num_vertices, args.root_stride))
+    fingers = simulate(
+        graph, args.pattern, FingersConfig(num_pes=args.pes), roots=roots
+    )
+    flex = simulate(
+        graph, args.pattern, FlexMinerConfig(num_pes=2 * args.pes), roots=roots
+    )
+    print(f"count: {fingers.count:,}")
+    print(f"FINGERS   ({args.pes:3d} PEs): {fingers.cycles:14,.0f} cycles")
+    print(f"FlexMiner ({2 * args.pes:3d} PEs): {flex.cycles:14,.0f} cycles")
+    print(f"iso-area speedup: {fingers.speedup_over(flex):.2f}x")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench import ablations, experiments
+
+    runners = {
+        "table1": experiments.table1,
+        "table2": experiments.table2,
+        "fig9": experiments.fig9,
+        "fig10": experiments.fig10,
+        "fig11": experiments.fig11,
+        "fig12": experiments.fig12,
+        "fig13": experiments.fig13,
+        "table3": experiments.table3,
+        "ablation-scheduling": ablations.ablation_scheduling,
+        "ablation-max-load": ablations.ablation_max_load,
+        "ablation-dividers": ablations.ablation_dividers,
+        "ablation-group-size": ablations.ablation_group_size,
+        "ablation-imbalance": ablations.ablation_imbalance,
+    }
+    from repro.bench.sensitivity import (
+        sensitivity_dram_latency,
+        sensitivity_hit_latency,
+        sensitivity_noc_bandwidth,
+    )
+    from repro.bench.software import software_comparison, software_scaling
+
+    runners.update({
+        "software-scaling": software_scaling,
+        "software-comparison": software_comparison,
+        "sensitivity-dram": sensitivity_dram_latency,
+        "sensitivity-hit": sensitivity_hit_latency,
+        "sensitivity-noc": sensitivity_noc_bandwidth,
+    })
+    print(runners[args.experiment]().render())
+    return 0
+
+
+_COMMANDS = {
+    "stats": _cmd_stats,
+    "plan": _cmd_plan,
+    "count": _cmd_count,
+    "motifs": _cmd_motifs,
+    "simulate": _cmd_simulate,
+    "validate": _cmd_validate,
+    "compare": _cmd_compare,
+    "bench": _cmd_bench,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,210 @@
+"""Immutable CSR (compressed sparse row) graph with sorted adjacency lists.
+
+The mining algorithms in this repository rely on two invariants that
+:class:`CSRGraph` guarantees at construction time:
+
+* the graph is *simple* and *undirected*: no self loops, no duplicate
+  edges, and every edge appears in both endpoint lists;
+* every neighbor list is sorted ascending, so set intersection and
+  subtraction are one-pass merges (paper section 2.1, "Set operations and
+  representation").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["CSRGraph"]
+
+_INDPTR_DTYPE = np.int64
+_INDICES_DTYPE = np.int32
+
+
+class CSRGraph:
+    """An undirected simple graph stored in compressed sparse row form.
+
+    Parameters
+    ----------
+    indptr:
+        ``num_vertices + 1`` offsets into ``indices``; the neighbor list of
+        vertex ``v`` is ``indices[indptr[v]:indptr[v + 1]]``.
+    indices:
+        Concatenated neighbor lists, each sorted ascending.
+    validate:
+        When true (default), check all structural invariants.  Pass false
+        only when the arrays are known-good (e.g. loaded from a file this
+        library wrote).
+
+    Notes
+    -----
+    Instances are immutable: the underlying arrays are marked read-only.
+    Use the builders in :mod:`repro.graph.builders` to construct graphs
+    from edge lists or adjacency dicts.
+    """
+
+    __slots__ = ("_indptr", "_indices")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        *,
+        validate: bool = True,
+    ) -> None:
+        indptr = np.ascontiguousarray(indptr, dtype=_INDPTR_DTYPE)
+        indices = np.ascontiguousarray(indices, dtype=_INDICES_DTYPE)
+        if validate:
+            self._validate(indptr, indices)
+        indptr.setflags(write=False)
+        indices.setflags(write=False)
+        self._indptr = indptr
+        self._indices = indices
+
+    @staticmethod
+    def _validate(indptr: np.ndarray, indices: np.ndarray) -> None:
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise ValueError("indptr and indices must be one-dimensional")
+        if indptr.size == 0:
+            raise ValueError("indptr must have at least one entry")
+        if indptr[0] != 0:
+            raise ValueError("indptr[0] must be 0")
+        if indptr[-1] != indices.size:
+            raise ValueError(
+                f"indptr[-1] ({indptr[-1]}) must equal len(indices) "
+                f"({indices.size})"
+            )
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        n = indptr.size - 1
+        if indices.size:
+            if indices.min() < 0 or indices.max() >= n:
+                raise ValueError("neighbor ids out of range")
+        vertex_of = np.repeat(np.arange(n, dtype=_INDICES_DTYPE), np.diff(indptr))
+        if np.any(vertex_of == indices):
+            raise ValueError("self loops are not allowed")
+        # Sorted-strictly-increasing within each row implies no duplicates.
+        interior = np.setdiff1d(indptr[1:-1], indptr[[0, -1]], assume_unique=False)
+        diffs = np.diff(indices)
+        if diffs.size:
+            breaks = np.zeros(indices.size - 1, dtype=bool)
+            boundary = indptr[1:-1]
+            boundary = boundary[(boundary > 0) & (boundary < indices.size)]
+            breaks[boundary - 1] = True
+            if np.any((diffs <= 0) & ~breaks):
+                raise ValueError("neighbor lists must be strictly increasing")
+        del interior
+        # Symmetry: every (u, v) edge must appear as (v, u) as well.
+        degrees = np.diff(indptr)
+        if indices.size:
+            fwd = vertex_of.astype(np.int64) * n + indices
+            rev = indices.astype(np.int64) * n + vertex_of
+            if not np.array_equal(np.sort(fwd), np.sort(rev)):
+                raise ValueError("adjacency is not symmetric (graph must be undirected)")
+        del degrees
+
+    # ------------------------------------------------------------------
+    # Core accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``|V|``."""
+        return self._indptr.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``|E|`` (each counted once)."""
+        return self._indices.size // 2
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """Read-only CSR row offsets."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Read-only concatenated sorted neighbor lists."""
+        return self._indices
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbor list of ``v`` as a read-only array view."""
+        if not 0 <= v < self.num_vertices:
+            raise IndexError(f"vertex {v} out of range [0, {self.num_vertices})")
+        return self._indices[self._indptr[v] : self._indptr[v + 1]]
+
+    def degree(self, v: int) -> int:
+        """Degree of vertex ``v``."""
+        if not 0 <= v < self.num_vertices:
+            raise IndexError(f"vertex {v} out of range [0, {self.num_vertices})")
+        return int(self._indptr[v + 1] - self._indptr[v])
+
+    def degrees(self) -> np.ndarray:
+        """Degree of every vertex, as an int64 array."""
+        return np.diff(self._indptr)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` exists."""
+        if u == v:
+            return False
+        nu = self.neighbors(u)
+        i = int(np.searchsorted(nu, v))
+        return i < nu.size and int(nu[i]) == v
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate undirected edges once each, as ``(u, v)`` with ``u < v``."""
+        for u in range(self.num_vertices):
+            for v in self.neighbors(u):
+                if u < v:
+                    yield u, int(v)
+
+    def max_degree(self) -> int:
+        """Largest vertex degree (0 for an empty graph)."""
+        if self.num_vertices == 0:
+            return 0
+        return int(self.degrees().max(initial=0))
+
+    def avg_degree(self) -> float:
+        """Mean vertex degree (0.0 for an empty graph)."""
+        if self.num_vertices == 0:
+            return 0.0
+        return self._indices.size / self.num_vertices
+
+    # ------------------------------------------------------------------
+    # Memory-footprint helpers used by the hardware cache models
+    # ------------------------------------------------------------------
+
+    def neighbor_list_bytes(self, v: int, *, bytes_per_id: int = 4) -> int:
+        """Size in bytes of vertex ``v``'s neighbor list as stored in DRAM."""
+        return self.degree(v) * bytes_per_id
+
+    def total_bytes(self, *, bytes_per_id: int = 4) -> int:
+        """Approximate DRAM footprint of the CSR structure."""
+        return self._indices.size * bytes_per_id + self._indptr.size * 8
+
+    # ------------------------------------------------------------------
+    # Dunder / misc
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return np.array_equal(self._indptr, other._indptr) and np.array_equal(
+            self._indices, other._indices
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._indptr.tobytes(), self._indices.tobytes()))
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRGraph(num_vertices={self.num_vertices}, "
+            f"num_edges={self.num_edges})"
+        )
+
+    def to_adjacency(self) -> dict[int, list[int]]:
+        """Materialize the adjacency structure as ``{vertex: [neighbors]}``."""
+        return {
+            v: [int(x) for x in self.neighbors(v)] for v in range(self.num_vertices)
+        }

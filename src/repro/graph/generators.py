@@ -1,0 +1,294 @@
+"""Deterministic synthetic graph generators.
+
+The paper evaluates on six SNAP/real graphs that are not redistributable
+here, so :mod:`repro.graph.datasets` builds scaled-down analogs from these
+generators.  Every generator takes an explicit ``seed`` and is fully
+deterministic, so benchmarks are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.builders import from_edges
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "erdos_renyi",
+    "barabasi_albert",
+    "powerlaw_configuration",
+    "planted_cliques",
+    "rmat",
+    "watts_strogatz",
+    "stochastic_block",
+    "complete_graph",
+    "star_graph",
+    "cycle_graph",
+    "path_graph",
+]
+
+
+def erdos_renyi(n: int, p: float, *, seed: int = 0) -> CSRGraph:
+    """G(n, p) random graph.
+
+    Uses the geometric-skipping method so the cost is proportional to the
+    number of edges rather than ``n**2``.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    edges: list[tuple[int, int]] = []
+    if p > 0.0 and n > 1:
+        # Iterate potential edges in lexicographic order, skipping
+        # geometrically distributed gaps.
+        total = n * (n - 1) // 2
+        idx = -1
+        log1mp = np.log1p(-p) if p < 1.0 else None
+        while True:
+            if p >= 1.0:
+                idx += 1
+            else:
+                r = rng.random()
+                idx += 1 + int(np.floor(np.log1p(-r) / log1mp))
+            if idx >= total:
+                break
+            # Convert linear index to (u, v), u < v.
+            u = int((2 * n - 1 - np.sqrt((2 * n - 1) ** 2 - 8 * idx)) // 2)
+            base = u * (2 * n - u - 1) // 2
+            v = u + 1 + (idx - base)
+            edges.append((u, int(v)))
+    return from_edges(edges, num_vertices=n)
+
+
+def barabasi_albert(n: int, m: int, *, seed: int = 0) -> CSRGraph:
+    """Preferential-attachment graph: each new vertex attaches to ``m`` others.
+
+    Produces the heavy-tailed degree distribution typical of social
+    networks, with a handful of very-high-degree hubs — the regime where the
+    paper's load-imbalance argument (section 2.3) bites.
+    """
+    if m < 1 or m >= n:
+        raise ValueError("need 1 <= m < n")
+    rng = np.random.default_rng(seed)
+    # Repeated-nodes list for preferential attachment.
+    repeated: list[int] = []
+    edges: list[tuple[int, int]] = []
+    targets = list(range(m))
+    for source in range(m, n):
+        chosen = set()
+        for t in targets:
+            if t != source:
+                chosen.add(t)
+        for t in chosen:
+            edges.append((source, t))
+            repeated.append(source)
+            repeated.append(t)
+        # Choose m targets for the next vertex.
+        if repeated:
+            picks = rng.integers(0, len(repeated), size=m * 3)
+            nxt: list[int] = []
+            seen: set[int] = set()
+            for pidx in picks:
+                cand = repeated[int(pidx)]
+                if cand not in seen:
+                    seen.add(cand)
+                    nxt.append(cand)
+                if len(nxt) == m:
+                    break
+            while len(nxt) < m:
+                cand = int(rng.integers(0, source + 1))
+                if cand not in seen:
+                    seen.add(cand)
+                    nxt.append(cand)
+            targets = nxt
+        else:
+            targets = list(range(m))
+    return from_edges(edges, num_vertices=n)
+
+
+def powerlaw_configuration(
+    n: int,
+    *,
+    exponent: float = 2.5,
+    min_degree: int = 1,
+    max_degree: int | None = None,
+    seed: int = 0,
+) -> CSRGraph:
+    """Configuration-model graph with a power-law degree sequence.
+
+    Degrees are drawn from ``P(d) ∝ d**-exponent`` on
+    ``[min_degree, max_degree]``, stubs are paired uniformly at random, and
+    self loops / multi-edges are dropped (so realized degrees are close to,
+    not exactly, the drawn sequence — the standard erased configuration
+    model).
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if min_degree < 1:
+        raise ValueError("min_degree must be >= 1")
+    rng = np.random.default_rng(seed)
+    hi = max_degree if max_degree is not None else max(min_degree + 1, n - 1)
+    hi = min(hi, n - 1) if n > 1 else 1
+    ds = np.arange(min_degree, hi + 1, dtype=np.float64)
+    weights = ds ** (-exponent)
+    weights /= weights.sum()
+    degrees = rng.choice(
+        np.arange(min_degree, hi + 1), size=n, p=weights
+    ).astype(np.int64)
+    if degrees.sum() % 2 == 1:
+        degrees[int(rng.integers(0, n))] += 1
+    stubs = np.repeat(np.arange(n), degrees)
+    rng.shuffle(stubs)
+    pairs = stubs.reshape(-1, 2)
+    edges = [(int(a), int(b)) for a, b in pairs if a != b]
+    return from_edges(edges, num_vertices=n)
+
+
+def planted_cliques(
+    n: int,
+    *,
+    num_cliques: int,
+    clique_size: int,
+    background_p: float = 0.0,
+    seed: int = 0,
+) -> CSRGraph:
+    """Random background graph with dense cliques planted on random vertices.
+
+    Used to build a "Mico-like" analog: a modest-sized graph that is rich in
+    cliques, exercising the branch-level-parallelism-dominated regime of the
+    clique benchmarks (paper section 6.2).
+    """
+    if clique_size > n:
+        raise ValueError("clique_size cannot exceed n")
+    rng = np.random.default_rng(seed)
+    edges: list[tuple[int, int]] = []
+    if background_p > 0:
+        bg = erdos_renyi(n, background_p, seed=seed + 1)
+        edges.extend(bg.edges())
+    for _ in range(num_cliques):
+        members = rng.choice(n, size=clique_size, replace=False)
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                edges.append((int(members[i]), int(members[j])))
+    return from_edges(edges, num_vertices=n)
+
+
+def rmat(
+    scale: int,
+    edge_factor: int,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+) -> CSRGraph:
+    """Recursive-matrix (Graph500-style) generator: ``2**scale`` vertices.
+
+    RMAT graphs have strongly skewed degree distributions and community-ish
+    structure, a good stand-in for web/social graphs such as LiveJournal.
+    """
+    if not 0 < a + b + c < 1:
+        raise ValueError("a + b + c must be in (0, 1)")
+    n = 1 << scale
+    num_edges = n * edge_factor
+    rng = np.random.default_rng(seed)
+    src = np.zeros(num_edges, dtype=np.int64)
+    dst = np.zeros(num_edges, dtype=np.int64)
+    for level in range(scale):
+        r = rng.random(num_edges)
+        bit_src = (r >= a + b).astype(np.int64)
+        r2 = rng.random(num_edges)
+        # Conditional quadrant choice.
+        top = r < a + b
+        bit_dst = np.where(
+            top,
+            (r2 >= a / (a + b)).astype(np.int64),
+            (r2 >= c / (1 - a - b)).astype(np.int64),
+        )
+        src = (src << 1) | bit_src
+        dst = (dst << 1) | bit_dst
+    edges = [(int(u), int(v)) for u, v in zip(src, dst) if u != v]
+    return from_edges(edges, num_vertices=n)
+
+
+def watts_strogatz(n: int, k: int, p: float, *, seed: int = 0) -> CSRGraph:
+    """Small-world graph: ring lattice of degree ``k`` with rewiring ``p``.
+
+    High clustering with short paths; useful as a structured contrast to
+    the power-law generators in tests and examples.
+    """
+    if k < 2 or k % 2 != 0:
+        raise ValueError("k must be even and >= 2")
+    if k >= n:
+        raise ValueError("k must be < n")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    edges: list[tuple[int, int]] = []
+    for u in range(n):
+        for j in range(1, k // 2 + 1):
+            v = (u + j) % n
+            if p > 0 and rng.random() < p:
+                w = int(rng.integers(0, n))
+                attempts = 0
+                while w == u and attempts < 8:
+                    w = int(rng.integers(0, n))
+                    attempts += 1
+                if w != u:
+                    v = w
+            edges.append((u, v))
+    return from_edges(edges, num_vertices=n)
+
+
+def stochastic_block(
+    sizes: list[int],
+    p_in: float,
+    p_out: float,
+    *,
+    seed: int = 0,
+) -> CSRGraph:
+    """Planted-partition graph: dense blocks, sparse cross-block edges.
+
+    Community structure with tunable density contrast — the regime where
+    locality-aware scheduling (the paper's section 6.3 future work) has
+    something to exploit.
+    """
+    if not 0 <= p_out <= p_in <= 1:
+        raise ValueError("need 0 <= p_out <= p_in <= 1")
+    rng = np.random.default_rng(seed)
+    n = sum(sizes)
+    starts = np.cumsum([0] + list(sizes))
+    block_of = np.zeros(n, dtype=np.int64)
+    for b, (lo, hi) in enumerate(zip(starts[:-1], starts[1:])):
+        block_of[lo:hi] = b
+    edges: list[tuple[int, int]] = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            prob = p_in if block_of[u] == block_of[v] else p_out
+            if prob > 0 and rng.random() < prob:
+                edges.append((u, v))
+    return from_edges(edges, num_vertices=n)
+
+
+def complete_graph(n: int) -> CSRGraph:
+    """K_n."""
+    return from_edges(
+        [(i, j) for i in range(n) for j in range(i + 1, n)], num_vertices=n
+    )
+
+
+def star_graph(n_leaves: int) -> CSRGraph:
+    """Vertex 0 connected to ``n_leaves`` leaves — a single extreme hub."""
+    return from_edges([(0, i) for i in range(1, n_leaves + 1)])
+
+
+def cycle_graph(n: int) -> CSRGraph:
+    """C_n (requires ``n >= 3``)."""
+    if n < 3:
+        raise ValueError("cycle needs at least 3 vertices")
+    return from_edges([(i, (i + 1) % n) for i in range(n)], num_vertices=n)
+
+
+def path_graph(n: int) -> CSRGraph:
+    """P_n."""
+    return from_edges([(i, i + 1) for i in range(n - 1)], num_vertices=n)

@@ -1,0 +1,113 @@
+"""Classic graph traversals and structure checks.
+
+Support utilities used by dataset validation, examples, and tests —
+independent of the mining stack (which never needs BFS: the search tree
+is driven entirely by set operations).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "bfs_order",
+    "bfs_distances",
+    "connected_components",
+    "largest_component_fraction",
+    "triangle_count_reference",
+    "clustering_coefficient",
+]
+
+
+def bfs_order(graph: CSRGraph, source: int) -> list[int]:
+    """Vertices reachable from ``source`` in BFS visitation order."""
+    if not 0 <= source < graph.num_vertices:
+        raise IndexError(f"source {source} out of range")
+    seen = np.zeros(graph.num_vertices, dtype=bool)
+    seen[source] = True
+    order = [source]
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors(v):
+            if not seen[u]:
+                seen[u] = True
+                order.append(int(u))
+                queue.append(int(u))
+    return order
+
+
+def bfs_distances(graph: CSRGraph, source: int) -> np.ndarray:
+    """Hop distance from ``source`` to every vertex (-1 = unreachable)."""
+    if not 0 <= source < graph.num_vertices:
+        raise IndexError(f"source {source} out of range")
+    dist = -np.ones(graph.num_vertices, dtype=np.int64)
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors(v):
+            if dist[u] < 0:
+                dist[u] = dist[v] + 1
+                queue.append(int(u))
+    return dist
+
+
+def connected_components(graph: CSRGraph) -> np.ndarray:
+    """Component id per vertex (ids are dense, ordered by first vertex)."""
+    comp = -np.ones(graph.num_vertices, dtype=np.int64)
+    next_id = 0
+    for start in range(graph.num_vertices):
+        if comp[start] >= 0:
+            continue
+        comp[start] = next_id
+        queue = deque([start])
+        while queue:
+            v = queue.popleft()
+            for u in graph.neighbors(v):
+                if comp[u] < 0:
+                    comp[u] = next_id
+                    queue.append(int(u))
+        next_id += 1
+    return comp
+
+
+def largest_component_fraction(graph: CSRGraph) -> float:
+    """Share of vertices in the largest connected component."""
+    if graph.num_vertices == 0:
+        return 0.0
+    comp = connected_components(graph)
+    counts = np.bincount(comp)
+    return float(counts.max()) / graph.num_vertices
+
+
+def triangle_count_reference(graph: CSRGraph) -> int:
+    """Triangle count by forward neighbor intersection.
+
+    A mining-stack-independent reference: for each edge ``(u, v)`` with
+    ``u < v``, count common neighbors greater than ``v``.  Used to
+    validate the pattern engine on graphs too big for the brute-force
+    matcher.
+    """
+    total = 0
+    for u in range(graph.num_vertices):
+        nu = graph.neighbors(u)
+        above_u = nu[nu > u]
+        for v in above_u:
+            nv = graph.neighbors(int(v))
+            common = np.intersect1d(above_u, nv, assume_unique=True)
+            total += int((common > v).sum())
+    return total
+
+
+def clustering_coefficient(graph: CSRGraph) -> float:
+    """Global clustering coefficient: 3 x triangles / open+closed wedges."""
+    degrees = graph.degrees()
+    wedges = int((degrees * (degrees - 1) // 2).sum())
+    if wedges == 0:
+        return 0.0
+    return 3 * triangle_count_reference(graph) / wedges

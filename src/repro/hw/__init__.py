@@ -1,0 +1,35 @@
+"""Cycle-approximate hardware timing models of FINGERS and FlexMiner.
+
+The models are *functionally exact* (they execute the same plan IR as the
+reference engine and must produce identical counts — enforced by tests)
+and *temporally approximate*: instead of simulating every wire, they
+charge cycle costs according to the microarchitectural contracts stated
+in the paper (see DESIGN.md section 5) and model the memory system with
+sectored LRU caches and a bandwidth/latency DRAM model.
+
+Layout
+------
+``config``     configuration dataclasses for both designs
+``memory``     DRAM model
+``cache``      shared / private sectored caches, stream buffers
+``iu``         intersect-unit pool: work-item scheduling and costs
+``divider``    task-divider timing (head lists, chunking)
+``stats``      counters: cycles, active rate, balance rate, miss rates
+``pe``         the FINGERS processing element (pseudo-DFS, task groups)
+``flexminer``  the baseline processing element (strict DFS, serial ops)
+``chip``       multi-PE chip with dynamic root scheduling
+``area``       area/power model (paper Table 2) and iso-area helpers
+``api``        `simulate` / `speedup_grid` front door
+"""
+
+from repro.hw.config import FingersConfig, FlexMinerConfig, MemoryConfig
+from repro.hw.api import simulate, speedup_grid, SimResult
+
+__all__ = [
+    "FingersConfig",
+    "FlexMinerConfig",
+    "MemoryConfig",
+    "simulate",
+    "speedup_grid",
+    "SimResult",
+]

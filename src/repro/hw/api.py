@@ -1,0 +1,147 @@
+"""Front door of the hardware layer: ``simulate`` and ``speedup_grid``.
+
+``simulate`` accepts a graph, a workload (pattern object, benchmark name
+— including the multi-pattern ``"3mc"`` — or a pre-compiled plan), and a
+design configuration, and returns a :class:`SimResult` with cycles,
+counts, and microarchitectural statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+
+from repro.graph.csr import CSRGraph
+from repro.hw.chip import ChipResult, run_chip
+from repro.hw.config import FingersConfig, FlexMinerConfig, MemoryConfig
+from repro.pattern.compiler import compile_plan
+from repro.pattern.multipattern import compile_multi_plan, motif_patterns, MultiPlan
+from repro.pattern.pattern import Pattern, named_pattern
+from repro.pattern.plan import ExecutionPlan
+
+__all__ = [
+    "SimResult",
+    "simulate",
+    "speedup_grid",
+    "resolve_workload",
+    "FingersConfig",
+    "FlexMinerConfig",
+    "MemoryConfig",
+]
+
+Workload = Union[str, Pattern, ExecutionPlan, MultiPlan]
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """A chip simulation outcome plus workload identity."""
+
+    workload: str
+    chip: ChipResult
+    pattern_names: tuple[str, ...] = ()
+
+    @property
+    def cycles(self) -> float:
+        return self.chip.cycles
+
+    @property
+    def count(self) -> int:
+        return self.chip.count
+
+    @property
+    def counts(self) -> tuple[int, ...]:
+        return self.chip.counts
+
+    @property
+    def counts_by_name(self) -> dict[str, int]:
+        """Per-pattern counts (useful for multi-pattern jobs like 3mc)."""
+        names = self.pattern_names or (self.workload,)
+        return dict(zip(names, self.chip.counts))
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        """``baseline.cycles / self.cycles`` with a functional sanity check."""
+        if baseline.counts != self.counts:
+            raise ValueError(
+                "refusing to compare runs with different functional results: "
+                f"{baseline.counts} vs {self.counts}"
+            )
+        if self.cycles == 0:
+            raise ZeroDivisionError("zero-cycle run")
+        return baseline.cycles / self.cycles
+
+
+def resolve_workload(
+    workload: Workload,
+) -> tuple[str, list[ExecutionPlan], tuple[str, ...]]:
+    """Normalize any workload spec to (name, plans, per-plan names)."""
+    if isinstance(workload, MultiPlan):
+        return "+".join(workload.names), list(workload.plans), workload.names
+    if isinstance(workload, ExecutionPlan):
+        name = f"plan(k={workload.num_levels})"
+        return name, [workload], (name,)
+    if isinstance(workload, Pattern):
+        name = f"pattern(k={workload.num_vertices})"
+        return name, [compile_plan(workload)], (name,)
+    if isinstance(workload, str):
+        if workload == "3mc":
+            patterns, names = motif_patterns(3)
+            multi = compile_multi_plan(patterns, names=names)
+            return "3mc", list(multi.plans), tuple(names)
+        return workload, [compile_plan(named_pattern(workload))], (workload,)
+    raise TypeError(f"cannot interpret workload {workload!r}")
+
+
+def simulate(
+    graph: CSRGraph,
+    workload: Workload,
+    config: FingersConfig | FlexMinerConfig,
+    *,
+    memory: MemoryConfig | None = None,
+    roots: Iterable[int] | None = None,
+    schedule: str = "dynamic",
+    tracer=None,
+) -> SimResult:
+    """Simulate one mining job on one chip configuration.
+
+    ``schedule`` picks the global root scheduler (see
+    :func:`repro.hw.chip.run_chip`); the default is the paper's dynamic
+    policy.
+
+    >>> from repro.graph import load_dataset
+    >>> r = simulate(load_dataset("As"), "tc", FingersConfig(num_pes=1))
+    >>> r.count > 0
+    True
+    """
+    name, plans, names = resolve_workload(workload)
+    chip = run_chip(
+        graph, plans, config, memory,
+        roots=roots, schedule=schedule, tracer=tracer,
+    )
+    return SimResult(workload=name, chip=chip, pattern_names=names)
+
+
+def speedup_grid(
+    graphs: dict[str, CSRGraph],
+    workloads: Sequence[Workload],
+    config: FingersConfig | FlexMinerConfig,
+    baseline: FingersConfig | FlexMinerConfig,
+    *,
+    memory: MemoryConfig | None = None,
+    roots_for: dict[str, Iterable[int]] | None = None,
+) -> dict[tuple[str, str], float]:
+    """Speedups of ``config`` over ``baseline`` for every (pattern, graph).
+
+    This is the shape of the paper's Figures 9 and 10: a
+    ``{(workload, graph): speedup}`` mapping, computed with identical
+    roots for both designs.
+    """
+    out: dict[tuple[str, str], float] = {}
+    for workload in workloads:
+        for gname, graph in graphs.items():
+            roots = None
+            if roots_for and gname in roots_for:
+                roots = list(roots_for[gname])
+            ours = simulate(graph, workload, config, memory=memory, roots=roots)
+            theirs = simulate(graph, workload, baseline, memory=memory, roots=roots)
+            out[(ours.workload, gname)] = ours.speedup_over(theirs)
+    return out

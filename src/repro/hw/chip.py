@@ -1,0 +1,207 @@
+"""Multi-PE chip: dynamic root scheduling over a shared memory system.
+
+The global scheduler hands search-tree roots to idle PEs (the
+coarse-grained, tree-level parallelism both designs share, section 3.1).
+PEs advance in time order, one task group per event, so their accesses to
+the shared cache and DRAM interleave approximately as they would on the
+real chip.  The chip makespan — the finish time of the last PE — is the
+headline "cycles" number; load imbalance from power-law roots shows up as
+the gap between mean PE busy time and makespan.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.graph.csr import CSRGraph
+from repro.hw.cache import CacheStats, SectoredLRUCache
+from repro.hw.config import FingersConfig, FlexMinerConfig, MemoryConfig
+from repro.hw.flexminer import FlexMinerPE
+from repro.hw.memory import DRAMModel, DRAMStats
+from repro.hw.noc import NoCModel, NoCStats
+from repro.hw.pe import BasePE, FingersPE
+from repro.hw.stats import PEStats, merge_pe_stats
+from repro.pattern.plan import ExecutionPlan
+
+__all__ = ["ChipResult", "run_chip"]
+
+
+@dataclass(frozen=True)
+class ChipResult:
+    """Everything a chip simulation produced."""
+
+    design: str
+    cycles: float
+    counts: tuple[int, ...]
+    pe_stats: tuple[PEStats, ...]
+    combined: PEStats
+    shared_cache: CacheStats
+    dram: DRAMStats
+    noc: NoCStats
+    num_pes: int
+    num_ius: int
+    task_group_size: int
+    pe_finish_times: tuple[float, ...]
+
+    @property
+    def count(self) -> int:
+        """Total embeddings over all patterns."""
+        return sum(self.counts)
+
+    @property
+    def load_imbalance(self) -> float:
+        """Makespan over mean PE busy time (1.0 = perfectly balanced)."""
+        busy = [s.busy_cycles for s in self.pe_stats if s.busy_cycles > 0]
+        if not busy:
+            return 1.0
+        mean = sum(busy) / len(busy)
+        return self.cycles / mean if mean > 0 else 1.0
+
+
+def _make_pes(
+    graph: CSRGraph,
+    plans: Sequence[ExecutionPlan],
+    config: FingersConfig | FlexMinerConfig,
+    memcfg: MemoryConfig,
+    shared_cache: SectoredLRUCache,
+    dram: DRAMModel,
+) -> list[BasePE]:
+    if isinstance(config, FingersConfig):
+        return [
+            FingersPE(i, graph, plans, config, memcfg, shared_cache, dram)
+            for i in range(config.num_pes)
+        ]
+    return [
+        FlexMinerPE(i, graph, plans, config, memcfg, shared_cache, dram)
+        for i in range(config.num_pes)
+    ]
+
+
+def run_chip(
+    graph: CSRGraph,
+    plans: Sequence[ExecutionPlan],
+    config: FingersConfig | FlexMinerConfig,
+    memcfg: MemoryConfig | None = None,
+    *,
+    roots: Iterable[int] | None = None,
+    schedule: str = "dynamic",
+    tracer=None,
+) -> ChipResult:
+    """Simulate one mining job on one chip.
+
+    ``roots`` restricts the job to the given level-0 vertices (sampled
+    simulation); defaults to every vertex.  The same ``roots`` on both
+    designs guarantees identical functional work, so cycle ratios are
+    apples-to-apples.
+
+    ``schedule`` selects the global root scheduler:
+
+    ``"dynamic"`` (default, the paper's design)
+        the next unprocessed root goes to the first idle PE.  With
+        degree-ordered vertex ids this also realizes the paper's
+        future-work locality idea: nearby (similar-degree) roots run on
+        different PEs at the same time and share shared-cache contents.
+    ``"static_interleave"``
+        PE ``i`` is pre-assigned roots ``i, i+P, i+2P, ...``.
+    ``"static_block"``
+        PE ``i`` is pre-assigned the ``i``-th contiguous block of roots.
+        With power-law graphs the hub block serializes on one PE — the
+        coarse-grained load-imbalance pathology of paper section 2.3,
+        kept as an ablation (see ``repro.bench.ablations``).
+    """
+    memcfg = memcfg or MemoryConfig()
+    shared_cache = SectoredLRUCache(memcfg.shared_cache_bytes, name="shared")
+    dram = DRAMModel(memcfg)
+    noc = NoCModel(memcfg.noc)
+    pes = _make_pes(graph, plans, config, memcfg, shared_cache, dram)
+    for pe in pes:
+        pe.noc = noc
+        if tracer is not None:
+            pe.tracer = tracer
+
+    all_roots = list(range(graph.num_vertices) if roots is None else roots)
+    if schedule not in ("dynamic", "static_interleave", "static_block"):
+        raise ValueError(f"unknown schedule policy {schedule!r}")
+
+    finish = [0.0] * len(pes)
+    heap: list[tuple[float, int]] = []
+
+    if schedule == "dynamic":
+        root_iter = iter(all_roots)
+        for pe in pes:
+            root = next(root_iter, None)
+            if root is None:
+                break
+            pe.assign_root(int(root), 0.0)
+            heapq.heappush(heap, (pe.now, pe.pe_id))
+        while heap:
+            _, pid = heapq.heappop(heap)
+            pe = pes[pid]
+            if pe.has_work():
+                pe.step()
+                heapq.heappush(heap, (pe.now, pid))
+                continue
+            root = next(root_iter, None)
+            if root is None:
+                finish[pid] = pe.now
+                continue
+            pe.assign_root(int(root), pe.now)
+            heapq.heappush(heap, (pe.now, pid))
+    else:
+        assigned: list[list[int]] = [[] for _ in pes]
+        if schedule == "static_interleave":
+            for i, root in enumerate(all_roots):
+                assigned[i % len(pes)].append(root)
+        else:  # static_block
+            per_pe = -(-len(all_roots) // len(pes)) if all_roots else 0
+            for i in range(len(pes)):
+                assigned[i] = all_roots[i * per_pe : (i + 1) * per_pe]
+        queues = [iter(a) for a in assigned]
+        for pe, q in zip(pes, queues):
+            root = next(q, None)
+            if root is None:
+                continue
+            pe.assign_root(int(root), 0.0)
+            heapq.heappush(heap, (pe.now, pe.pe_id))
+        while heap:
+            _, pid = heapq.heappop(heap)
+            pe = pes[pid]
+            if pe.has_work():
+                pe.step()
+                heapq.heappush(heap, (pe.now, pid))
+                continue
+            root = next(queues[pid], None)
+            if root is None:
+                finish[pid] = pe.now
+                continue
+            pe.assign_root(int(root), pe.now)
+            heapq.heappush(heap, (pe.now, pid))
+
+    cycles = max(finish) if finish else 0.0
+    counts = [0] * len(plans)
+    for pe in pes:
+        for i, c in enumerate(pe.counts):
+            counts[i] += c
+    stats = [pe.stats for pe in pes]
+    num_ius = config.num_ius if isinstance(config, FingersConfig) else 1
+    group = (
+        pes[0].group_size
+        if isinstance(config, FingersConfig) and pes
+        else 1
+    )
+    return ChipResult(
+        design=config.design_name,
+        cycles=cycles,
+        counts=tuple(counts),
+        pe_stats=tuple(stats),
+        combined=merge_pe_stats(stats),
+        shared_cache=shared_cache.stats,
+        dram=dram.stats,
+        noc=noc.stats,
+        num_pes=len(pes),
+        num_ius=num_ius,
+        task_group_size=group,
+        pe_finish_times=tuple(finish),
+    )

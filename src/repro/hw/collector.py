@@ -1,0 +1,90 @@
+"""Event-level result collector (paper section 4.3, Figure 8).
+
+The timing models account for the collector's serial occupancy inside
+:mod:`repro.hw.iu`; this module models its *datapath* event by event so
+the aggregation protocol itself can be validated: the collector receives
+``(segment id, bitvector)`` results from the IUs in round-robin order,
+OR-combines results for the same segment, and emits a finished segment
+as an ordered id list the moment a *different* segment arrives (sorted
+inputs guarantee each segment's results arrive adjacently per op).
+
+Tests drive this against :func:`repro.setops.bitvector.segmented_set_op`
+and the plain merges, closing the loop on the paper's claim that one
+intersect datapath plus OR-aggregation implements all three set
+operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SegmentResult", "ResultCollector"]
+
+
+@dataclass(frozen=True)
+class SegmentResult:
+    """One IU's output: the segment it processed plus the hit bitvector.
+
+    ``keep_zeros`` encodes the operation family: for intersection the
+    collector emits elements whose bit is 1; for (anti-)subtraction the
+    elements whose bit is 0 (the paper's complement trick).
+    """
+
+    segment_id: int
+    values: tuple[int, ...]
+    bits: tuple[bool, ...]
+    keep_zeros: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.values) > len(self.bits):
+            raise ValueError("bitvector narrower than the segment")
+
+
+@dataclass
+class ResultCollector:
+    """OR-aggregating, order-preserving collector."""
+
+    emitted: list[int] = field(default_factory=list)
+    _current_id: int | None = None
+    _current_values: tuple[int, ...] | None = None
+    _current_bits: list[bool] | None = None
+    _current_keep_zeros: bool = False
+    results_received: int = 0
+    segments_emitted: int = 0
+
+    def receive(self, result: SegmentResult) -> None:
+        """Accept the next round-robin result from an IU."""
+        self.results_received += 1
+        if self._current_id == result.segment_id:
+            assert self._current_bits is not None
+            if len(result.bits) != len(self._current_bits):
+                raise ValueError("same-segment bitvector widths differ")
+            for i, bit in enumerate(result.bits):
+                self._current_bits[i] |= bit
+            return
+        self._flush()
+        self._current_id = result.segment_id
+        self._current_values = result.values
+        self._current_bits = list(result.bits)
+        self._current_keep_zeros = result.keep_zeros
+
+    def finish(self) -> list[int]:
+        """Flush the pending segment and return the full ordered result."""
+        self._flush()
+        return self.emitted
+
+    def _flush(self) -> None:
+        if self._current_id is None:
+            return
+        assert self._current_values is not None
+        assert self._current_bits is not None
+        for i, value in enumerate(self._current_values):
+            bit = self._current_bits[i]
+            if bit != self._current_keep_zeros:
+                self.emitted.append(int(value))
+        self.segments_emitted += 1
+        self._current_id = None
+        self._current_values = None
+        self._current_bits = None

@@ -1,0 +1,67 @@
+"""Task-divider timing (paper section 4.2, Figure 7).
+
+A task divider streams the short set's head list — one head per cycle —
+through a binary tree of up to 15 long heads, filling the load table, then
+emits the balanced task table.  One divider matches head lists of at most
+15 long / 24 short heads; longer lists are split into chunks matched on
+multiple dividers or sequentially.  The dividers of a PE work in parallel
+on the task's different set operations (and on chunks), coordinated to
+similar progress, so the phase latency is the balanced maximum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+__all__ = ["DividerWork", "divider_phase_cycles"]
+
+#: Pipeline cycles to load a chunk's long heads into the binary tree.
+_CHUNK_SETUP_CYCLES = 2
+
+
+@dataclass(frozen=True)
+class DividerWork:
+    """Head-list matching work for one set operation."""
+
+    num_long_heads: int
+    num_short_heads: int
+    long_head_capacity: int
+    short_head_capacity: int
+
+    @property
+    def num_chunks(self) -> int:
+        """Chunks needed when either head list overflows one divider."""
+        long_chunks = max(1, ceil(self.num_long_heads / self.long_head_capacity))
+        short_chunks = max(1, ceil(self.num_short_heads / self.short_head_capacity))
+        # Every (long chunk, short chunk) pair may contain overlapping
+        # ranges; sorted inputs mean only adjacent pairs can overlap, so
+        # the chunk count grows additively, not multiplicatively.
+        return long_chunks + short_chunks - 1
+
+    @property
+    def total_cycles(self) -> int:
+        """Serial cycles if a single divider did all chunks."""
+        per_chunk_heads = max(
+            1, ceil(self.num_short_heads / self.num_chunks)
+        )
+        return self.num_chunks * (_CHUNK_SETUP_CYCLES + per_chunk_heads)
+
+
+def divider_phase_cycles(works: list[DividerWork], num_dividers: int) -> int:
+    """Balanced completion time of all matching work on ``num_dividers``.
+
+    The PE's dividers pull chunks and are load-balanced by monitoring the
+    last scheduled segment index (paper section 4.2), so the phase time is
+    the ideal balanced share, floored by the largest single chunk.
+    """
+    if num_dividers < 1:
+        raise ValueError("num_dividers must be >= 1")
+    if not works:
+        return 0
+    total = sum(w.total_cycles for w in works)
+    largest_chunk = max(
+        _CHUNK_SETUP_CYCLES + max(1, ceil(w.num_short_heads / w.num_chunks))
+        for w in works
+    )
+    return max(largest_chunk, ceil(total / num_dividers))

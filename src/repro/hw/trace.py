@@ -1,0 +1,96 @@
+"""Execution tracing: per-PE timeline events and a text Gantt view.
+
+Attach a :class:`Tracer` to a simulation to record what each PE did
+when — task groups, stalls, root assignments — then render a compact
+text Gantt chart.  Used by ``examples/`` and handy when debugging why a
+configuration underperforms (e.g. spotting the serialized hub tree of a
+power-law graph).
+
+Tracing is opt-in and zero-cost when absent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["TraceEvent", "Tracer", "render_gantt"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timeline entry."""
+
+    pe_id: int
+    start: float
+    end: float
+    kind: str  # "group", "stall", "root"
+    detail: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Tracer:
+    """Collects events; pass as ``tracer=`` to the chip/PE entry points."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    enabled: bool = True
+
+    def record(
+        self, pe_id: int, start: float, end: float, kind: str, detail: str = ""
+    ) -> None:
+        if self.enabled and end >= start:
+            self.events.append(TraceEvent(pe_id, start, end, kind, detail))
+
+    def for_pe(self, pe_id: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.pe_id == pe_id]
+
+    @property
+    def num_pes(self) -> int:
+        return len({e.pe_id for e in self.events})
+
+    def busy_fraction(self, pe_id: int) -> float:
+        """Fraction of the PE's span spent in task groups (not stalls)."""
+        events = self.for_pe(pe_id)
+        if not events:
+            return 0.0
+        span = max(e.end for e in events) - min(e.start for e in events)
+        busy = sum(e.duration for e in events if e.kind == "group")
+        return busy / span if span > 0 else 0.0
+
+
+def render_gantt(
+    tracer: Tracer,
+    *,
+    width: int = 72,
+    kinds: Iterable[str] = ("group", "stall"),
+) -> str:
+    """Render the trace as one text row per PE.
+
+    ``#`` marks task-group execution, ``.`` marks stall time, spaces are
+    idle.  The time axis is scaled to ``width`` columns.
+    """
+    if not tracer.events:
+        return "(empty trace)"
+    t_end = max(e.end for e in tracer.events)
+    if t_end <= 0:
+        return "(zero-length trace)"
+    scale = width / t_end
+    glyph = {"group": "#", "stall": ".", "root": "|"}
+    pe_ids = sorted({e.pe_id for e in tracer.events})
+    lines = [f"0{' ' * (width - len(str(round(t_end))) - 1)}{round(t_end)}"]
+    for pid in pe_ids:
+        row = [" "] * width
+        for event in tracer.for_pe(pid):
+            if event.kind not in kinds:
+                continue
+            lo = min(width - 1, int(event.start * scale))
+            hi = min(width - 1, max(lo, int(event.end * scale) - 1))
+            for i in range(lo, hi + 1):
+                if row[i] == " " or glyph[event.kind] == "#":
+                    row[i] = glyph[event.kind]
+        lines.append(f"PE{pid:<3d} |{''.join(row)}|")
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""High-level mining API — the front door of the library.
+
+These helpers accept either :class:`~repro.pattern.pattern.Pattern`
+objects or the paper's benchmark names, compile plans on demand (cached),
+and run the reference engine.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable, Union
+
+from repro.graph.csr import CSRGraph
+from repro.mining import engine
+from repro.pattern.compiler import compile_plan
+from repro.pattern.multipattern import compile_multi_plan, motif_patterns
+from repro.pattern.pattern import Pattern, named_pattern
+from repro.pattern.plan import ExecutionPlan
+
+__all__ = ["count", "embeddings", "motif_census", "plan_for"]
+
+PatternLike = Union[str, Pattern]
+
+
+@lru_cache(maxsize=None)
+def _cached_plan(pattern: Pattern, vertex_induced: bool) -> ExecutionPlan:
+    return compile_plan(pattern, vertex_induced=vertex_induced)
+
+
+def plan_for(pattern: PatternLike, *, vertex_induced: bool = True) -> ExecutionPlan:
+    """Resolve a pattern or benchmark name to a compiled (cached) plan."""
+    if isinstance(pattern, str):
+        pattern = named_pattern(pattern)
+    return _cached_plan(pattern, vertex_induced)
+
+
+def count(
+    graph: CSRGraph,
+    pattern: PatternLike,
+    *,
+    vertex_induced: bool = True,
+    roots: Iterable[int] | None = None,
+) -> int:
+    """Count instances of ``pattern`` in ``graph``.
+
+    >>> from repro.graph import complete_graph
+    >>> count(complete_graph(5), "tc")
+    10
+    """
+    plan = plan_for(pattern, vertex_induced=vertex_induced)
+    return engine.count_embeddings(graph, plan, roots=roots)
+
+
+def embeddings(
+    graph: CSRGraph,
+    pattern: PatternLike,
+    *,
+    vertex_induced: bool = True,
+    limit: int | None = None,
+) -> list[tuple[int, ...]]:
+    """List embeddings of ``pattern`` (one representative per class)."""
+    plan = plan_for(pattern, vertex_induced=vertex_induced)
+    return engine.list_embeddings(graph, plan, limit=limit)
+
+
+def motif_census(
+    graph: CSRGraph,
+    k: int,
+    *,
+    vertex_induced: bool = True,
+    roots: Iterable[int] | None = None,
+) -> dict[str, int]:
+    """Counts of every connected ``k``-vertex motif (the paper's k-motif job).
+
+    For ``k = 3`` this is the ``3mc`` benchmark: triangles plus wedges.
+    """
+    patterns, names = motif_patterns(k)
+    multi = compile_multi_plan(patterns, names=names, vertex_induced=vertex_induced)
+    return engine.count_multi(graph, multi, roots=roots)

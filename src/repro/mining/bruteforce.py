@@ -1,0 +1,71 @@
+"""Brute-force subgraph-isomorphism oracle, independent of the plan IR.
+
+A deliberately simple backtracking matcher used by the test suite to
+validate the compiler + engine stack: it shares no code with the plan
+executor, so agreement between the two is strong evidence of correctness.
+Only suitable for small graphs.
+"""
+
+from __future__ import annotations
+
+from repro.graph.csr import CSRGraph
+from repro.pattern.automorphism import automorphism_count
+from repro.pattern.pattern import Pattern
+
+__all__ = ["count_maps_bruteforce", "count_instances_bruteforce"]
+
+
+def count_maps_bruteforce(
+    graph: CSRGraph, pattern: Pattern, *, vertex_induced: bool = True
+) -> int:
+    """Number of injective maps pattern -> graph preserving adjacency.
+
+    With ``vertex_induced`` the maps must also preserve *non*-adjacency
+    (exact induced match).  Every automorphic relabelling counts
+    separately, so the result is ``instances x |Aut(pattern)|``.
+    """
+    k = pattern.num_vertices
+    n = graph.num_vertices
+    assignment: list[int] = []
+    used: set[int] = set()
+
+    def backtrack(pv: int) -> int:
+        if pv == k:
+            return 1
+        total = 0
+        for gv in range(n):
+            if gv in used:
+                continue
+            ok = True
+            for prev in range(pv):
+                has = graph.has_edge(assignment[prev], gv)
+                wants = pattern.has_edge(prev, pv)
+                if wants and not has:
+                    ok = False
+                    break
+                if vertex_induced and not wants and has:
+                    ok = False
+                    break
+            if ok:
+                assignment.append(gv)
+                used.add(gv)
+                total += backtrack(pv + 1)
+                assignment.pop()
+                used.remove(gv)
+        return total
+
+    return backtrack(0)
+
+
+def count_instances_bruteforce(
+    graph: CSRGraph, pattern: Pattern, *, vertex_induced: bool = True
+) -> int:
+    """Number of distinct pattern instances (each class counted once).
+
+    This is what the plan executor reports thanks to its
+    symmetry-breaking restrictions.
+    """
+    maps = count_maps_bruteforce(graph, pattern, vertex_induced=vertex_induced)
+    aut = automorphism_count(pattern)
+    assert maps % aut == 0, "map count must be a multiple of |Aut|"
+    return maps // aut

@@ -1,0 +1,200 @@
+"""Recursive plan executor — the functional reference for all simulators.
+
+Follows paper Figure 2 exactly: nested loops over candidate sets, with the
+set-operation schedules materialized incrementally and reused across the
+subtree.  Counting jobs never enumerate the last level; the final
+candidate-set length is added directly (the standard pattern-aware
+optimization, also what the accelerators do).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.pattern.multipattern import MultiPlan
+from repro.pattern.plan import ExecutionPlan
+from repro.setops.merge import apply_op, exclude_values, lower_bound_filter
+
+__all__ = [
+    "count_embeddings",
+    "list_embeddings",
+    "count_multi",
+    "per_root_counts",
+    "filtered_candidates",
+]
+
+
+def filtered_candidates(
+    plan: ExecutionPlan,
+    level: int,
+    candidates: np.ndarray,
+    embedding: Sequence[int],
+) -> np.ndarray:
+    """Apply symmetry-breaking and injectivity filters for ``level``.
+
+    All synthesized restrictions are lower bounds, so symmetry breaking is
+    one binary search; injectivity only needs to drop ancestors that are
+    non-adjacent to ``level`` in the pattern (adjacent ones can never
+    appear in their own neighbor list).
+    """
+    bounds = plan.lower_bound_levels(level)
+    if bounds:
+        candidates = lower_bound_filter(
+            candidates, max(embedding[b] for b in bounds)
+        )
+    excludes = [
+        embedding[d] for d in plan.exclude_levels(level) if d < len(embedding)
+    ]
+    if excludes:
+        candidates = exclude_values(candidates, excludes)
+    return candidates
+
+
+def _iter_roots(graph: CSRGraph, roots: Iterable[int] | None) -> Iterable[int]:
+    if roots is None:
+        return range(graph.num_vertices)
+    return roots
+
+
+def count_embeddings(
+    graph: CSRGraph,
+    plan: ExecutionPlan,
+    *,
+    roots: Iterable[int] | None = None,
+) -> int:
+    """Number of embeddings of the plan's pattern in ``graph``.
+
+    With the plan's symmetry-breaking restrictions each automorphism class
+    is counted exactly once, i.e. the result is the number of distinct
+    pattern *instances* (for a triangle plan: the triangle count).
+
+    ``roots`` limits the search to trees rooted at the given level-0
+    vertices (used for sampled simulation); default is every vertex.
+    """
+    total = 0
+    for root, sub in per_root_counts(graph, plan, roots=roots):
+        total += sub
+    return total
+
+
+def per_root_counts(
+    graph: CSRGraph,
+    plan: ExecutionPlan,
+    *,
+    roots: Iterable[int] | None = None,
+) -> Iterator[tuple[int, int]]:
+    """Yield ``(root, count)`` per search tree — the unit of coarse-grained
+    parallelism the accelerators schedule across PEs."""
+    k = plan.num_levels
+    if k == 1:
+        for root in _iter_roots(graph, roots):
+            yield root, 1
+        return
+    states: dict[int, np.ndarray] = {}
+    embedding: list[int] = []
+
+    def explore(level: int) -> int:
+        # ``u_level`` was just appended to ``embedding``; run the level's
+        # schedule and extend (or count) the next level.
+        sched = plan.levels[level]
+        for op in sched.ops:
+            operand = graph.neighbors(embedding[op.operand_level])
+            source = (
+                states[op.source_state] if op.source_state is not None else None
+            )
+            states[op.result_state] = apply_op(op.kind, source, operand)
+        nxt = level + 1
+        cand = filtered_candidates(
+            plan, nxt, states[sched.extend_state], embedding
+        )
+        if nxt == k - 1:
+            return int(cand.size)
+        subtotal = 0
+        for v in cand:
+            embedding.append(int(v))
+            subtotal += explore(nxt)
+            embedding.pop()
+        return subtotal
+
+    for root in _iter_roots(graph, roots):
+        embedding.append(int(root))
+        yield int(root), explore(0)
+        embedding.pop()
+
+
+def list_embeddings(
+    graph: CSRGraph,
+    plan: ExecutionPlan,
+    *,
+    roots: Iterable[int] | None = None,
+    limit: int | None = None,
+) -> list[tuple[int, ...]]:
+    """All embeddings as level-ordered vertex tuples (one per class).
+
+    ``limit`` truncates the enumeration once that many embeddings were
+    produced (useful on dense graphs).
+    """
+    k = plan.num_levels
+    out: list[tuple[int, ...]] = []
+    if k == 1:
+        for root in _iter_roots(graph, roots):
+            out.append((int(root),))
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+    states: dict[int, np.ndarray] = {}
+    embedding: list[int] = []
+
+    def explore(level: int) -> bool:
+        sched = plan.levels[level]
+        for op in sched.ops:
+            operand = graph.neighbors(embedding[op.operand_level])
+            source = (
+                states[op.source_state] if op.source_state is not None else None
+            )
+            states[op.result_state] = apply_op(op.kind, source, operand)
+        nxt = level + 1
+        cand = filtered_candidates(
+            plan, nxt, states[sched.extend_state], embedding
+        )
+        if nxt == k - 1:
+            for v in cand:
+                out.append(tuple(embedding) + (int(v),))
+                if limit is not None and len(out) >= limit:
+                    return True
+            return False
+        for v in cand:
+            embedding.append(int(v))
+            stop = explore(nxt)
+            embedding.pop()
+            if stop:
+                return True
+        return False
+
+    for root in _iter_roots(graph, roots):
+        embedding.append(int(root))
+        stop = explore(0)
+        embedding.pop()
+        if stop:
+            break
+    return out
+
+
+def count_multi(
+    graph: CSRGraph,
+    multi: MultiPlan,
+    *,
+    roots: Iterable[int] | None = None,
+) -> dict[str, int]:
+    """Counts for every pattern of a multi-pattern plan in one pass.
+
+    Processes each root once; plans share the root's level-0 states via
+    the unified state namespace (the merged trunk of paper section 4).
+    """
+    totals = {name: 0 for name in multi.names}
+    for name, plan in zip(multi.names, multi.plans):
+        totals[name] += count_embeddings(graph, plan, roots=roots)
+    return totals

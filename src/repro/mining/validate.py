@@ -1,0 +1,85 @@
+"""Cross-validation utilities: every executor must agree.
+
+The repository's strongest correctness claim is that four independent
+code paths — the brute-force matcher, the plan-based reference engine,
+the FINGERS timing model, and the FlexMiner timing model (plus the
+software model) — all produce the same counts for the same job.  This
+module packages that check for tests, examples, and ad-hoc debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.csr import CSRGraph
+from repro.mining.api import plan_for
+from repro.mining.bruteforce import count_instances_bruteforce
+from repro.mining.engine import count_embeddings
+from repro.pattern.pattern import Pattern, named_pattern
+
+__all__ = ["ValidationReport", "cross_validate"]
+
+#: Graphs above this vertex count skip the (exponential) brute-force leg.
+_BRUTEFORCE_LIMIT = 40
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Counts per executor, plus the verdict."""
+
+    pattern: str
+    counts: dict
+    consistent: bool
+
+    def __str__(self) -> str:
+        lines = [f"cross-validation for {self.pattern}:"]
+        for name, value in self.counts.items():
+            lines.append(f"  {name:12s} {value}")
+        lines.append(f"  => {'CONSISTENT' if self.consistent else 'MISMATCH'}")
+        return "\n".join(lines)
+
+
+def cross_validate(
+    graph: CSRGraph,
+    pattern: str | Pattern,
+    *,
+    vertex_induced: bool = True,
+    include_hardware: bool = True,
+    include_software: bool = False,
+    roots=None,
+) -> ValidationReport:
+    """Run every executor on one job and compare counts.
+
+    The brute-force oracle is included only for small graphs (its cost is
+    exponential) and only when ``roots`` is not restricted.
+    """
+    pattern_obj = named_pattern(pattern) if isinstance(pattern, str) else pattern
+    name = pattern if isinstance(pattern, str) else repr(pattern)
+    plan = plan_for(pattern_obj, vertex_induced=vertex_induced)
+
+    counts: dict = {}
+    counts["engine"] = count_embeddings(graph, plan, roots=roots)
+    if graph.num_vertices <= _BRUTEFORCE_LIMIT and roots is None:
+        counts["bruteforce"] = count_instances_bruteforce(
+            graph, pattern_obj, vertex_induced=vertex_induced
+        )
+    if include_hardware:
+        from repro.hw.api import FingersConfig, FlexMinerConfig, simulate
+
+        counts["fingers"] = simulate(
+            graph, plan, FingersConfig(num_pes=2), roots=roots
+        ).count
+        counts["flexminer"] = simulate(
+            graph, plan, FlexMinerConfig(num_pes=2), roots=roots
+        ).count
+    if include_software:
+        from repro.sw import SoftwareConfig, simulate_software
+
+        counts["software"] = simulate_software(
+            graph, plan, SoftwareConfig(num_cores=2), roots=roots
+        ).count
+
+    values = set(counts.values())
+    return ValidationReport(
+        pattern=name, counts=counts, consistent=len(values) == 1
+    )

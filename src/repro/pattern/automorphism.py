@@ -1,0 +1,55 @@
+"""Automorphism groups of patterns.
+
+Patterns are tiny (k <= ~8), so the group is found by filtering the k!
+permutations, with a degree-sequence pre-check to prune.  The group feeds
+the symmetry-breaking restriction synthesis in
+:mod:`repro.pattern.symmetry` (paper section 2.1, "symmetric breaking
+restrictions").
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from repro.pattern.pattern import Pattern
+
+__all__ = ["automorphisms", "automorphism_count", "orbits"]
+
+
+def automorphisms(pattern: Pattern) -> list[tuple[int, ...]]:
+    """All automorphisms of ``pattern`` as permutation tuples.
+
+    ``perm[i] = j`` means pattern vertex ``i`` is mapped to vertex ``j``.
+    The identity is always included, so the result is never empty.
+    """
+    k = pattern.num_vertices
+    degrees = [pattern.degree(v) for v in range(k)]
+    autos: list[tuple[int, ...]] = []
+    for perm in permutations(range(k)):
+        if any(degrees[i] != degrees[perm[i]] for i in range(k)):
+            continue
+        if all(
+            pattern.has_edge(perm[a], perm[b]) for a, b in pattern.edges()
+        ):
+            autos.append(perm)
+    return autos
+
+
+def automorphism_count(pattern: Pattern) -> int:
+    """``|Aut(pattern)|``."""
+    return len(automorphisms(pattern))
+
+
+def orbits(pattern: Pattern) -> list[frozenset[int]]:
+    """Vertex orbits under the automorphism group, sorted by min element."""
+    autos = automorphisms(pattern)
+    k = pattern.num_vertices
+    seen: set[int] = set()
+    result: list[frozenset[int]] = []
+    for v in range(k):
+        if v in seen:
+            continue
+        orbit = frozenset(perm[v] for perm in autos)
+        seen.update(orbit)
+        result.append(orbit)
+    return result

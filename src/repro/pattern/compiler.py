@@ -1,0 +1,161 @@
+"""Plan compiler: pattern -> :class:`ExecutionPlan`.
+
+Mirrors the compilation flow of paper section 2.1: choose a
+connectivity-preserving vertex order, derive each level's set-operation
+schedule (with anti-subtraction postponement for leading disconnected
+ancestors), share identical partial results between future levels, and
+attach symmetry-breaking restrictions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.pattern.pattern import Pattern
+from repro.pattern.plan import ExecutionPlan, LevelSchedule, OpKind, SetOp
+from repro.pattern.symmetry import symmetry_restrictions
+
+__all__ = ["choose_vertex_order", "compile_plan"]
+
+
+def choose_vertex_order(pattern: Pattern) -> tuple[int, ...]:
+    """Greedy connectivity-preserving mining order.
+
+    Starts from a maximum-degree vertex, then repeatedly appends the vertex
+    with the most connections into the chosen prefix (ties: higher pattern
+    degree, then lower id).  Connection-dense prefixes shrink candidate
+    sets early, the standard heuristic of AutoMine-style compilers.
+    """
+    k = pattern.num_vertices
+    if k == 1:
+        return (0,)
+    if not pattern.is_connected():
+        raise ValueError("pattern-aware mining requires a connected pattern")
+    start = max(range(k), key=lambda v: (pattern.degree(v), -v))
+    order = [start]
+    remaining = set(range(k)) - {start}
+    while remaining:
+        best = max(
+            remaining,
+            key=lambda v: (
+                sum(1 for u in order if pattern.has_edge(u, v)),
+                pattern.degree(v),
+                -v,
+            ),
+        )
+        if not any(pattern.has_edge(u, best) for u in order):
+            raise AssertionError("connected pattern must extend connectedly")
+        order.append(best)
+        remaining.remove(best)
+    return tuple(order)
+
+
+def compile_plan(
+    pattern: Pattern,
+    *,
+    order: Sequence[int] | None = None,
+    vertex_induced: bool = True,
+) -> ExecutionPlan:
+    """Compile ``pattern`` into an execution plan.
+
+    Parameters
+    ----------
+    pattern:
+        The pattern to mine (must be connected).
+    order:
+        Optional explicit mining order (a permutation of pattern vertices);
+        defaults to :func:`choose_vertex_order`.  Must be
+        connectivity-preserving: each vertex after the first needs at least
+        one earlier neighbor.
+    vertex_induced:
+        Compile subtraction ops for pattern non-edges (exact-match
+        semantics).  With ``False``, edge-induced semantics: non-edges are
+        unconstrained (paper section 2.1, "Set operations and
+        representation").
+    """
+    if order is None:
+        order = choose_vertex_order(pattern)
+    order = tuple(int(v) for v in order)
+    relabelled = pattern.relabel(order)
+    k = relabelled.num_vertices
+    for j in range(1, k):
+        if not any(relabelled.has_edge(i, j) for i in range(j)):
+            raise ValueError(
+                f"order {order!r} is not connectivity-preserving at level {j}"
+            )
+
+    restrictions = symmetry_restrictions(relabelled)
+
+    current: dict[int, int | None] = {j: None for j in range(1, k)}
+    memo: dict[tuple[int | None, OpKind, int], int] = {}
+    next_state = 0
+    levels: list[LevelSchedule] = []
+
+    for i in range(k - 1):
+        emitted: dict[int, SetOp] = {}  # result_state -> draft op
+        serves: dict[int, set[int]] = {}
+
+        for j in range(i + 1, k):
+            steps: list[tuple[OpKind, int]] = []
+            if current[j] is None:
+                if relabelled.has_edge(i, j):
+                    steps.append((OpKind.INIT_COPY, i))
+                    if vertex_induced:
+                        for d in range(i):
+                            if not relabelled.has_edge(d, j):
+                                steps.append((OpKind.ANTI_SUBTRACT, d))
+                # else: still postponed; nothing to do at this level.
+            else:
+                if relabelled.has_edge(i, j):
+                    steps.append((OpKind.INTERSECT, i))
+                elif vertex_induced:
+                    steps.append((OpKind.SUBTRACT, i))
+            state = current[j]
+            for kind, operand in steps:
+                source = None if kind is OpKind.INIT_COPY else state
+                key = (source, kind, operand)
+                if key in memo:
+                    state = memo[key]
+                else:
+                    state = next_state
+                    next_state += 1
+                    memo[key] = state
+                    emitted[state] = SetOp(
+                        kind=kind,
+                        operand_level=operand,
+                        source_state=source,
+                        result_state=state,
+                        serves=(),  # filled in below
+                    )
+                serves.setdefault(state, set()).add(j)
+            current[j] = state
+
+        extend_state = current[i + 1]
+        if extend_state is None:
+            raise AssertionError(
+                f"candidate set for level {i + 1} not materialized at level {i}"
+            )
+        ops = []
+        for state_id, draft in emitted.items():
+            ops.append(
+                SetOp(
+                    kind=draft.kind,
+                    operand_level=draft.operand_level,
+                    source_state=draft.source_state,
+                    result_state=draft.result_state,
+                    serves=tuple(sorted(serves[state_id])),
+                    final_for=(i + 1) if state_id == extend_state else None,
+                )
+            )
+        levels.append(
+            LevelSchedule(level=i, ops=tuple(ops), extend_state=extend_state)
+        )
+
+    return ExecutionPlan(
+        pattern=relabelled,
+        vertex_order=order,
+        levels=tuple(levels),
+        restrictions=restrictions,
+        vertex_induced=vertex_induced,
+        num_states=next_state,
+    )

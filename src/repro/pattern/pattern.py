@@ -1,0 +1,183 @@
+"""Pattern graphs: the small subgraphs a mining job searches for.
+
+Patterns are tiny (the paper uses 3-5 vertices) and immutable, stored as a
+frozen adjacency-bitmask tuple for cheap permutation tests during
+automorphism search.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["Pattern", "named_pattern", "PATTERN_NAMES"]
+
+
+class Pattern:
+    """An undirected simple pattern graph on vertices ``0..k-1``.
+
+    Parameters
+    ----------
+    num_vertices:
+        Pattern size ``k``.
+    edges:
+        Iterable of ``(a, b)`` pairs over ``0..k-1``.
+
+    Notes
+    -----
+    Patterns are hashable and comparable by structure, and expose the
+    adjacency both as bitmasks (``adj_mask``) and neighbor tuples
+    (``neighbors``).
+    """
+
+    __slots__ = ("_n", "_masks")
+
+    def __init__(self, num_vertices: int, edges: Iterable[tuple[int, int]]) -> None:
+        if num_vertices < 1:
+            raise ValueError("a pattern needs at least one vertex")
+        masks = [0] * num_vertices
+        for a, b in edges:
+            if not (0 <= a < num_vertices and 0 <= b < num_vertices):
+                raise ValueError(f"edge ({a}, {b}) out of range for k={num_vertices}")
+            if a == b:
+                raise ValueError("patterns cannot have self loops")
+            masks[a] |= 1 << b
+            masks[b] |= 1 << a
+        self._n = num_vertices
+        self._masks = tuple(masks)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Pattern size ``k``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of pattern edges."""
+        return sum(bin(m).count("1") for m in self._masks) // 2
+
+    def adj_mask(self, v: int) -> int:
+        """Bitmask of ``v``'s pattern neighbors."""
+        return self._masks[v]
+
+    def has_edge(self, a: int, b: int) -> bool:
+        """Whether pattern edge ``{a, b}`` exists."""
+        return bool(self._masks[a] >> b & 1)
+
+    def neighbors(self, v: int) -> tuple[int, ...]:
+        """Sorted tuple of ``v``'s pattern neighbors."""
+        m = self._masks[v]
+        return tuple(i for i in range(self._n) if m >> i & 1)
+
+    def degree(self, v: int) -> int:
+        """Pattern degree of ``v``."""
+        return bin(self._masks[v]).count("1")
+
+    def edges(self) -> list[tuple[int, int]]:
+        """All pattern edges, each once, as ``(a, b)`` with ``a < b``."""
+        return [
+            (a, b)
+            for a in range(self._n)
+            for b in range(a + 1, self._n)
+            if self.has_edge(a, b)
+        ]
+
+    def is_connected(self) -> bool:
+        """Whether the pattern is connected (mining requires it)."""
+        if self._n == 1:
+            return True
+        seen = 1
+        frontier = [0]
+        while frontier:
+            v = frontier.pop()
+            m = self._masks[v]
+            for u in range(self._n):
+                if m >> u & 1 and not seen >> u & 1:
+                    seen |= 1 << u
+                    frontier.append(u)
+        return seen == (1 << self._n) - 1
+
+    def is_clique(self) -> bool:
+        """Whether the pattern is a complete graph."""
+        return self.num_edges == self._n * (self._n - 1) // 2
+
+    def relabel(self, order: Sequence[int]) -> "Pattern":
+        """Return the pattern with vertex ``order[i]`` renamed to ``i``.
+
+        ``order`` is the mining order: position ``i`` of the new pattern is
+        the old vertex ``order[i]``.
+        """
+        if sorted(order) != list(range(self._n)):
+            raise ValueError(f"order {order!r} is not a permutation of 0..{self._n - 1}")
+        inv = [0] * self._n
+        for new, old in enumerate(order):
+            inv[old] = new
+        return Pattern(
+            self._n, [(inv[a], inv[b]) for a, b in self.edges()]
+        )
+
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pattern):
+            return NotImplemented
+        return self._n == other._n and self._masks == other._masks
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._masks))
+
+    def __repr__(self) -> str:
+        return f"Pattern(k={self._n}, edges={self.edges()})"
+
+
+def _clique(k: int) -> Pattern:
+    return Pattern(k, [(i, j) for i in range(k) for j in range(i + 1, k)])
+
+
+#: The seven benchmark names used throughout the paper's evaluation.
+#: ``3mc`` is the multi-pattern task (triangle + wedge) and is handled by
+#: :func:`repro.pattern.multipattern.motif_patterns`.
+PATTERN_NAMES = ["tc", "4cl", "5cl", "tt", "cyc", "dia", "3mc"]
+
+_NAMED: dict[str, Pattern] = {
+    # 3-clique (triangle).
+    "tc": _clique(3),
+    # 4-clique.
+    "4cl": _clique(4),
+    # 5-clique.
+    "5cl": _clique(5),
+    # Tailed triangle: triangle {0,1,2} with a tail 3 attached to 0
+    # (paper Figure 1).
+    "tt": Pattern(4, [(0, 1), (0, 2), (1, 2), (0, 3)]),
+    # 4-cycle (vertex-induced: no chord).
+    "cyc": Pattern(4, [(0, 1), (1, 2), (2, 3), (3, 0)]),
+    # Diamond: 4-clique minus one edge.
+    "dia": Pattern(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3)]),
+    # Wedge (3-path), the second component of the 3-motif census.
+    "wedge": Pattern(3, [(0, 1), (0, 2)]),
+    # Extras used by tests and examples.
+    "edge": Pattern(2, [(0, 1)]),
+    "3path": Pattern(4, [(0, 1), (1, 2), (2, 3)]),
+    "star3": Pattern(4, [(0, 1), (0, 2), (0, 3)]),
+    "house": Pattern(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 4)]),
+}
+
+
+def named_pattern(name: str) -> Pattern:
+    """Look up a pattern by its benchmark name (``tc``, ``4cl``, ``tt``, ...).
+
+    ``3mc`` is a multi-pattern job, not a single pattern; use
+    :func:`repro.pattern.multipattern.motif_patterns` for it.
+    """
+    if name == "3mc":
+        raise ValueError(
+            "3mc is a multi-pattern benchmark; use motif_patterns(3) and "
+            "compile_multi_plan instead"
+        )
+    try:
+        return _NAMED[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown pattern {name!r}; known: {sorted(_NAMED)}"
+        ) from None

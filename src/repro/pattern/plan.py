@@ -1,0 +1,203 @@
+"""Execution-plan intermediate representation.
+
+A compiled plan describes, for a pattern relabelled into its mining order
+``u_0 .. u_{k-1}``:
+
+* per level ``i``, the *set-operation schedule*: which partial candidate
+  sets ``S_j`` (``j > i``) are updated with ``N(u_i)`` and how
+  (paper Equation 1 — intersection, subtraction, anti-subtraction);
+* which updates are shared between future levels (the paper notes
+  ``S_1 = S_2(1) = S_3(1)`` are computed once) — expressed here through
+  symbolic *state ids*: an op produces one state that may serve several
+  future levels until their schedules diverge;
+* the symmetry-breaking restrictions and the injectivity exclusions that
+  filter candidates at each level.
+
+Both the functional mining engine and the hardware timing models execute
+this IR; the number of distinct ops at a level is exactly the set-level
+parallelism available to a FINGERS PE there.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.pattern.pattern import Pattern
+from repro.pattern.symmetry import Restriction
+
+__all__ = ["OpKind", "SetOp", "LevelSchedule", "ExecutionPlan"]
+
+
+class OpKind(enum.Enum):
+    """The set-operation kinds of paper Equation (1).
+
+    ``INIT_COPY`` is the degenerate first materialization
+    ``S_j := N(u_i)`` at level ``j``'s first connected ancestor ``i``.
+    ``ANTI_SUBTRACT`` is the postponed subtraction of an earlier
+    *disconnected* ancestor's neighbor list, executed right after the init
+    (the paper postpones these to avoid materializing large unions).
+    """
+
+    INIT_COPY = "init"
+    INTERSECT = "intersect"
+    SUBTRACT = "subtract"
+    ANTI_SUBTRACT = "anti_subtract"
+
+
+@dataclass(frozen=True)
+class SetOp:
+    """One set operation in a level's schedule.
+
+    Attributes
+    ----------
+    kind:
+        Operation kind.
+    operand_level:
+        The ancestor level ``d`` whose neighbor list ``N(u_d)`` is the
+        operand.  For ops executed at level ``i`` this is ``i`` except for
+        ``ANTI_SUBTRACT``, whose operand is an earlier level.
+    source_state:
+        State id consumed (``None`` for ``INIT_COPY``).
+    result_state:
+        State id produced.
+    serves:
+        The future levels whose partial candidate sets this state currently
+        stands for (more than one while schedules coincide).
+    final_for:
+        If not ``None``, the produced state is the fully materialized
+        candidate set for that level.
+    """
+
+    kind: OpKind
+    operand_level: int
+    source_state: int | None
+    result_state: int
+    serves: tuple[int, ...]
+    final_for: int | None = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        src = f"S#{self.source_state}" if self.source_state is not None else ""
+        sym = {
+            OpKind.INIT_COPY: "copy",
+            OpKind.INTERSECT: "∩",
+            OpKind.SUBTRACT: "−",
+            OpKind.ANTI_SUBTRACT: "−*",
+        }[self.kind]
+        return (
+            f"S#{self.result_state} = {src} {sym} N(u{self.operand_level})"
+            f" [serves {list(self.serves)}]"
+        )
+
+
+@dataclass(frozen=True)
+class LevelSchedule:
+    """All work performed at one level, right after ``u_level`` is chosen."""
+
+    level: int
+    ops: tuple[SetOp, ...]
+    #: State id of the candidate set to extend from at the *next* level
+    #: (``None`` at the last level, which only counts).
+    extend_state: int | None
+
+    @property
+    def num_ops(self) -> int:
+        """Set-level parallelism available at this level."""
+        return len(self.ops)
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A complete compiled plan for one pattern.
+
+    Attributes
+    ----------
+    pattern:
+        The pattern *after* relabelling into the mining order, so pattern
+        vertex ``i`` is matched at level ``i``.
+    vertex_order:
+        The original pattern vertex placed at each level (for reporting).
+    levels:
+        ``k - 1`` schedules, one per level ``0 .. k-2`` (the last level has
+        no ops; its candidates are counted/listed directly).
+    restrictions:
+        Symmetry-breaking restrictions over levels.
+    vertex_induced:
+        Whether subtraction ops for non-edges were compiled in.
+    num_states:
+        Total number of symbolic set states.
+    """
+
+    pattern: Pattern
+    vertex_order: tuple[int, ...]
+    levels: tuple[LevelSchedule, ...]
+    restrictions: tuple[Restriction, ...]
+    vertex_induced: bool
+    num_states: int
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_levels(self) -> int:
+        """Pattern size ``k`` (levels ``0 .. k-1``)."""
+        return self.pattern.num_vertices
+
+    def schedule(self, level: int) -> LevelSchedule:
+        """Schedule executed right after choosing ``u_level``."""
+        return self.levels[level]
+
+    def lower_bound_levels(self, level: int) -> tuple[int, ...]:
+        """Earlier levels whose mapped vertex lower-bounds candidates here.
+
+        All restrictions synthesized by the stabilizer chain have the form
+        ``v_small < v_large``; at ``level == large`` the candidate must
+        exceed ``v[small]``.
+        """
+        return tuple(
+            r.smaller for r in self.restrictions if r.larger == level
+        )
+
+    def exclude_levels(self, level: int) -> tuple[int, ...]:
+        """Earlier levels whose mapped vertex must be filtered out here.
+
+        A candidate for ``u_level`` can collide with an earlier ancestor
+        ``u_d`` only when ``d`` and ``level`` are non-adjacent in the
+        pattern (adjacent ancestors are excluded for free because
+        ``u_d not in N(u_d)``), so only those need an explicit injectivity
+        check.
+        """
+        return tuple(
+            d
+            for d in range(level)
+            if not self.pattern.has_edge(d, level)
+        )
+
+    def describe(self) -> str:
+        """Human-readable plan dump (see ``examples/quickstart.py``)."""
+        lines = [
+            f"pattern k={self.num_levels}, order={list(self.vertex_order)}, "
+            f"{'vertex' if self.vertex_induced else 'edge'}-induced",
+            "restrictions: "
+            + (", ".join(str(r) for r in self.restrictions) or "(none)"),
+        ]
+        for sched in self.levels:
+            lines.append(f"level {sched.level}:")
+            for op in sched.ops:
+                suffix = (
+                    f"  -> final S_{op.final_for}" if op.final_for is not None else ""
+                )
+                lines.append(f"  {op}{suffix}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Static structure queries used by the hardware model
+    # ------------------------------------------------------------------
+
+    def max_set_parallelism(self) -> int:
+        """Largest number of distinct ops at any level."""
+        return max((s.num_ops for s in self.levels), default=0)
+
+    def total_ops(self) -> int:
+        """Total distinct set ops across all levels."""
+        return sum(s.num_ops for s in self.levels)

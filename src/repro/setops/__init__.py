@@ -1,0 +1,57 @@
+"""Set operations over sorted vertex-id lists.
+
+Pattern-aware mining represents candidate sets and neighbor lists as
+strictly increasing arrays of vertex ids, so intersection and subtraction
+are one-pass merges (paper section 2.1).  This package provides:
+
+* :mod:`repro.setops.merge` — the functional merge-based operations used
+  by the reference engine and (for result values) the timing models;
+* :mod:`repro.setops.segments` — fixed-length segmentation, head lists,
+  and segment pairing, the substrate of segment-level parallelism
+  (paper sections 3.4 and 4.2);
+* :mod:`repro.setops.bitvector` — the intersect-unit datapath and the
+  bitwise-OR result aggregation of paper section 4.3, validated against
+  the merge primitives by the test suite.
+"""
+
+from repro.setops.merge import (
+    intersect,
+    subtract,
+    apply_op,
+    lower_bound_filter,
+    exclude_values,
+)
+from repro.setops.segments import (
+    LONG_SEGMENT_LEN,
+    SHORT_SEGMENT_LEN,
+    segment_bounds,
+    head_list,
+    pair_segments,
+    SegmentPairing,
+    balance_loads,
+    WorkItem,
+)
+from repro.setops.bitvector import (
+    intersect_bitvector,
+    aggregate_or,
+    segmented_set_op,
+)
+
+__all__ = [
+    "intersect",
+    "subtract",
+    "apply_op",
+    "lower_bound_filter",
+    "exclude_values",
+    "LONG_SEGMENT_LEN",
+    "SHORT_SEGMENT_LEN",
+    "segment_bounds",
+    "head_list",
+    "pair_segments",
+    "SegmentPairing",
+    "balance_loads",
+    "WorkItem",
+    "intersect_bitvector",
+    "aggregate_or",
+    "segmented_set_op",
+]

@@ -1,0 +1,149 @@
+"""The intersect-unit datapath and result aggregation (paper section 4.3).
+
+FINGERS uses a *single* hardware unit type — a merge-based intersector —
+for all three set operations, exploiting ``A − B = A − (A ∩ B)``:
+
+* every IU always computes the intersection of its two input segments and
+  emits a *bitvector*;
+* for intersection and anti-subtraction the bitvector is indexed by the
+  **long** segment's elements; for subtraction by the **short** segment's
+  (padded with 1s);
+* the result collector receives (bitvector, segment) pairs round-robin;
+  pairs for the same segment are combined with bitwise OR — correct for
+  intersection because ``A ∩ (B1 ∪ B2) = (A ∩ B1) ∪ (A ∩ B2)`` and for
+  (anti-)subtraction because ``A − B1 − B2 = (A − B1) ∩ (A − B2)`` keeps
+  exactly the positions that are 0 in *both* bitvectors.
+
+:func:`segmented_set_op` replays this whole pipeline functionally; the
+property-based tests assert it is extensionally equal to the plain merges
+in :mod:`repro.setops.merge`, which is the architecture's correctness
+argument.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.setops.merge import merge_intersect_py
+from repro.setops.segments import (
+    LONG_SEGMENT_LEN,
+    SHORT_SEGMENT_LEN,
+    pair_segments,
+    segment_bounds,
+)
+
+__all__ = ["intersect_bitvector", "aggregate_or", "segmented_set_op"]
+
+
+def intersect_bitvector(
+    index_segment: np.ndarray, other_segment: np.ndarray, width: int
+) -> np.ndarray:
+    """One IU pass: mark which ``index_segment`` elements are in the other.
+
+    Returns a boolean vector of length ``width``; positions beyond the
+    segment's actual length are padded with 1s (the paper pads subtraction
+    bitvectors with 1s so phantom elements are never emitted; for
+    intersection the padding is harmless because those positions carry no
+    element).
+    """
+    hits = set(merge_intersect_py(list(index_segment), list(other_segment)))
+    bits = np.ones(width, dtype=bool)
+    for i, v in enumerate(index_segment):
+        bits[i] = v in hits
+    return bits
+
+
+def aggregate_or(bitvectors: list[np.ndarray]) -> np.ndarray:
+    """The result collector's combine step: bitwise OR of same-segment results."""
+    if not bitvectors:
+        raise ValueError("nothing to aggregate")
+    out = bitvectors[0].copy()
+    for bv in bitvectors[1:]:
+        if bv.shape != out.shape:
+            raise ValueError("bitvectors for one segment must share a width")
+        out |= bv
+    return out
+
+
+def segmented_set_op(
+    op: str,
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    short_len: int = SHORT_SEGMENT_LEN,
+    long_len: int = LONG_SEGMENT_LEN,
+) -> np.ndarray:
+    """Compute ``a ∩ b`` or ``a − b`` through the segmented IU pipeline.
+
+    ``a`` is the semantic left operand (for subtraction the result is a
+    subset of ``a``).  Roles are chosen by size as in the hardware: the
+    longer input streams as the *long* set.  When ``op == "subtract"`` and
+    ``a`` is the long input, this is exactly the paper's anti-subtraction
+    flow (unpaired long segments pass through).
+    """
+    if op not in ("intersect", "subtract"):
+        raise ValueError(f"unknown op {op!r}")
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    if op == "intersect" and (a.size == 0 or b.size == 0):
+        return np.empty(0, dtype=np.int64)
+    if op == "subtract" and a.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if b.size == 0:
+        return a.copy() if op == "subtract" else np.empty(0, dtype=np.int64)
+
+    a_is_long = a.size >= b.size
+    long_set, short_set = (a, b) if a_is_long else (b, a)
+    pairing = pair_segments(short_set, long_set, short_len=short_len, long_len=long_len)
+    long_segs = segment_bounds(long_set.size, long_len)
+    short_segs = segment_bounds(short_set.size, short_len)
+
+    if op == "intersect" or (op == "subtract" and a_is_long):
+        # Bitvector indexed by the long segment; one OR-accumulated
+        # bitvector per long segment.
+        acc: dict[int, list[np.ndarray]] = {}
+        for si, span in enumerate(pairing.spans):
+            if span is None:
+                continue
+            s_lo, s_hi = short_segs[si]
+            s_vals = short_set[s_lo:s_hi]
+            for li in range(span[0], span[1] + 1):
+                l_lo, l_hi = long_segs[li]
+                bv = intersect_bitvector(long_set[l_lo:l_hi], s_vals, long_len)
+                # Clear the pad bits: only real elements may be marked.
+                bv[l_hi - l_lo :] = False
+                acc.setdefault(li, []).append(bv)
+        out: list[int] = []
+        for li, (l_lo, l_hi) in enumerate(long_segs):
+            seg_vals = long_set[l_lo:l_hi]
+            if li in acc:
+                bits = aggregate_or(acc[li])[: l_hi - l_lo]
+            else:
+                bits = np.zeros(l_hi - l_lo, dtype=bool)
+            if op == "intersect":
+                out.extend(int(v) for v, bit in zip(seg_vals, bits) if bit)
+            else:  # anti-subtraction: keep long elements NOT intersected
+                out.extend(int(v) for v, bit in zip(seg_vals, bits) if not bit)
+        return np.asarray(out, dtype=np.int64)
+
+    # Ordinary subtraction: a is the short input; bitvector indexed by the
+    # short segment, 1-padded, elements with 0 survive.
+    acc_short: dict[int, list[np.ndarray]] = {}
+    for si, span in enumerate(pairing.spans):
+        if span is None:
+            continue
+        s_lo, s_hi = short_segs[si]
+        s_vals = short_set[s_lo:s_hi]
+        for li in range(span[0], span[1] + 1):
+            l_lo, l_hi = long_segs[li]
+            bv = intersect_bitvector(s_vals, long_set[l_lo:l_hi], short_len)
+            acc_short.setdefault(si, []).append(bv)
+    out = []
+    for si, (s_lo, s_hi) in enumerate(short_segs):
+        seg_vals = short_set[s_lo:s_hi]
+        if si in acc_short:
+            bits = aggregate_or(acc_short[si])[: s_hi - s_lo]
+        else:
+            bits = np.zeros(s_hi - s_lo, dtype=bool)
+        out.extend(int(v) for v, bit in zip(seg_vals, bits) if not bit)
+    return np.asarray(out, dtype=np.int64)

@@ -1,0 +1,132 @@
+"""Merge-based set operations on strictly increasing id arrays.
+
+These are the functional primitives: given the library invariant that all
+inputs are sorted and duplicate-free, intersection and subtraction reduce
+to ``numpy`` set routines with ``assume_unique=True`` (C-speed merges).
+A pure-Python one-pass merge is also provided as the independent reference
+the property-based tests compare against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.pattern.plan import OpKind
+
+__all__ = [
+    "intersect",
+    "subtract",
+    "apply_op",
+    "lower_bound_filter",
+    "exclude_values",
+    "merge_intersect_py",
+    "merge_subtract_py",
+]
+
+_EMPTY = np.empty(0, dtype=np.int32)
+
+
+def _as_ids(a: Sequence[int] | np.ndarray) -> np.ndarray:
+    arr = np.asarray(a, dtype=np.int32)
+    return arr if arr.size else _EMPTY
+
+
+def intersect(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a ∩ b`` for sorted unique arrays; result sorted unique."""
+    a = _as_ids(a)
+    b = _as_ids(b)
+    if a.size == 0 or b.size == 0:
+        return _EMPTY
+    return np.intersect1d(a, b, assume_unique=True)
+
+
+def subtract(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a − b`` for sorted unique arrays; result sorted unique."""
+    a = _as_ids(a)
+    b = _as_ids(b)
+    if a.size == 0:
+        return _EMPTY
+    if b.size == 0:
+        return a
+    return np.setdiff1d(a, b, assume_unique=True)
+
+
+def apply_op(kind: OpKind, source: np.ndarray | None, operand: np.ndarray) -> np.ndarray:
+    """Execute one plan op functionally.
+
+    ``INIT_COPY`` returns the operand (the fetched neighbor list);
+    ``ANTI_SUBTRACT`` subtracts the *postponed* ancestor's list from the
+    source (see :class:`repro.pattern.plan.OpKind`).
+    """
+    if kind is OpKind.INIT_COPY:
+        return _as_ids(operand)
+    if source is None:
+        raise ValueError(f"{kind} requires a source set")
+    if kind is OpKind.INTERSECT:
+        return intersect(source, operand)
+    if kind is OpKind.SUBTRACT or kind is OpKind.ANTI_SUBTRACT:
+        return subtract(source, operand)
+    raise ValueError(f"unknown op kind {kind!r}")
+
+
+def lower_bound_filter(values: np.ndarray, bound: int) -> np.ndarray:
+    """Keep elements strictly greater than ``bound`` (sorted input).
+
+    This is the symmetry-breaking filter: all synthesized restrictions are
+    lower bounds on later levels, so filtering is a single binary search —
+    the hardware analog is pruning whole segments during head-list
+    generation (paper section 4, stage 2).
+    """
+    values = _as_ids(values)
+    cut = int(np.searchsorted(values, bound, side="right"))
+    return values[cut:]
+
+
+def exclude_values(values: np.ndarray, forbidden: Iterable[int]) -> np.ndarray:
+    """Remove specific ids (the injectivity filter for reused ancestors)."""
+    values = _as_ids(values)
+    out = values
+    for f in forbidden:
+        i = int(np.searchsorted(out, f))
+        if i < out.size and int(out[i]) == f:
+            out = np.delete(out, i)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Pure-Python reference merges (used by property tests as an oracle)
+# ----------------------------------------------------------------------
+
+
+def merge_intersect_py(a: Sequence[int], b: Sequence[int]) -> list[int]:
+    """One-pass merge intersection, exactly the hardware comparator walk."""
+    out: list[int] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        if a[i] == b[j]:
+            out.append(a[i])
+            i += 1
+            j += 1
+        elif a[i] < b[j]:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+def merge_subtract_py(a: Sequence[int], b: Sequence[int]) -> list[int]:
+    """One-pass merge subtraction ``a − b``."""
+    out: list[int] = []
+    i = j = 0
+    while i < len(a):
+        if j >= len(b) or a[i] < b[j]:
+            out.append(a[i])
+            i += 1
+        elif a[i] == b[j]:
+            i += 1
+            j += 1
+        else:
+            j += 1
+    return out

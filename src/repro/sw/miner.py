@@ -1,0 +1,223 @@
+"""Cycle-approximate multi-core software miner with work stealing.
+
+Each core executes the plan IR task by task, exactly like the hardware
+PEs (it reuses :class:`repro.hw.pe.BasePE`'s traversal), but with
+software costs: merges at ``elements_per_cycle``, a per-task scheduling
+overhead, and — under branch granularity — a steal latency whenever an
+idle core takes work from another core's deque.  Steals take the
+*oldest* (shallowest) task, the classic work-first stealing policy that
+moves the largest subtrees.
+
+This quantifies the paper's section 3.5 claim: branch-level parallelism
+helps software too (it fixes the tree-granularity load imbalance on
+power-law graphs), but the per-task overheads put a floor under how fine
+software can slice the work, which is exactly the gap the FINGERS
+hardware closes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.graph.csr import CSRGraph
+from repro.hw.cache import CacheStats, SectoredLRUCache
+from repro.hw.config import MemoryConfig
+from repro.hw.memory import DRAMModel, DRAMStats
+from repro.hw.pe import BasePE, Task
+from repro.hw.stats import PEStats, merge_pe_stats
+from repro.sw.config import SoftwareConfig
+
+__all__ = ["SoftwareMiner", "SoftwareResult", "simulate_software"]
+
+#: LLC hit latency in core cycles (deeper hierarchy than the
+#: accelerator's dedicated shared cache).
+_LLC_HIT_LATENCY = 40
+
+
+class _Core(BasePE):
+    """One CPU worker: strict DFS locally, stealable deque of tasks."""
+
+    def __init__(self, core_id, graph, plans, config, memcfg, llc, dram):
+        super().__init__(core_id, graph, plans, memcfg, llc, dram)
+        self.config = config
+        self.steals = 0
+
+    def _fetch_shared(self, v: int, now: float) -> float:  # override latency
+        self.stats.neighbor_fetches += 1
+        hit = self.shared_cache.access(v, self._list_bytes(v))
+        if hit:
+            return now + _LLC_HIT_LATENCY
+        done = self.dram.access(now, self._list_bytes(v))
+        return done + _LLC_HIT_LATENCY
+
+    def step(self) -> float:
+        group = self._stack.pop()
+        t0 = self.now
+        for task in group:
+            fetch_done = self.now
+            for v in self._task_operand_vertices(task):
+                fetch_done = max(fetch_done, self._fetch_shared(v, self.now))
+            self.stats.stall_cycles += max(0.0, fetch_done - self.now)
+            self.now = fetch_done
+            executed = self._execute_ops(task)
+            compute = 0.0
+            for _, source, operand in executed:
+                src_len = source.size if source is not None else 0
+                compute += (src_len + operand.size) / self.config.elements_per_cycle
+            self.now += compute + self.config.task_overhead_cycles
+            self.stats.tasks += 1
+            self.stats.compute_cycles += compute
+            self.stats.overhead_cycles += self.config.task_overhead_cycles
+            self._spawn_children(task, group_size=1)
+        self.stats.busy_cycles += self.now - t0
+        return self.now
+
+    # -- stealing interface ---------------------------------------------
+
+    def steal_from(self, victim: "_Core", now: float) -> bool:
+        """Take the victim's oldest task group; returns success.
+
+        Only victims with *surplus* work (two or more queued groups) are
+        eligible: stealing a core's last group would just bounce it
+        between idle thieves (each steal defers execution by the steal
+        latency) without anyone ever running it.
+        """
+        if len(victim._stack) < 2:
+            return False
+        group = victim._stack.pop(0)
+        self._stack.append(group)
+        self.now = max(self.now, now) + self.config.steal_overhead_cycles
+        self.steals += 1
+        return True
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._stack)
+
+
+@dataclass(frozen=True)
+class SoftwareResult:
+    """Outcome of one software mining run."""
+
+    design: str
+    cycles: float
+    counts: tuple[int, ...]
+    core_stats: tuple[PEStats, ...]
+    combined: PEStats
+    llc: CacheStats
+    dram: DRAMStats
+    total_steals: int
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts)
+
+    @property
+    def load_imbalance(self) -> float:
+        busy = [s.busy_cycles for s in self.core_stats if s.busy_cycles > 0]
+        if not busy:
+            return 1.0
+        mean = sum(busy) / len(busy)
+        return self.cycles / mean if mean > 0 else 1.0
+
+
+class SoftwareMiner:
+    """Driver: schedules roots over cores, with optional work stealing."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        plans: Sequence,
+        config: SoftwareConfig,
+        memcfg: MemoryConfig | None = None,
+    ) -> None:
+        self.graph = graph
+        self.plans = list(plans)
+        self.config = config
+        base_mem = memcfg or MemoryConfig()
+        self.memcfg = base_mem.with_shared_cache(config.llc_bytes)
+
+    def run(self, roots: Iterable[int] | None = None) -> SoftwareResult:
+        llc = SectoredLRUCache(self.memcfg.shared_cache_bytes, name="llc")
+        dram = DRAMModel(self.memcfg)
+        cores = [
+            _Core(i, self.graph, self.plans, self.config, self.memcfg, llc, dram)
+            for i in range(self.config.num_cores)
+        ]
+        root_iter = iter(
+            range(self.graph.num_vertices) if roots is None else roots
+        )
+        heap: list[tuple[float, int]] = []
+        for core in cores:
+            root = next(root_iter, None)
+            if root is None:
+                break
+            core.assign_root(int(root), 0.0)
+            heapq.heappush(heap, (core.now, core.pe_id))
+
+        allow_steal = self.config.granularity == "branch"
+        finish = [0.0] * len(cores)
+        while heap:
+            now, cid = heapq.heappop(heap)
+            core = cores[cid]
+            if core.has_work():
+                core.step()
+                heapq.heappush(heap, (core.now, cid))
+                continue
+            root = next(root_iter, None)
+            if root is not None:
+                core.assign_root(int(root), core.now)
+                heapq.heappush(heap, (core.now, cid))
+                continue
+            if allow_steal:
+                victim = max(
+                    (c for c in cores if c.pe_id != cid),
+                    key=lambda c: c.queue_depth,
+                    default=None,
+                )
+                if victim is not None and core.steal_from(victim, now):
+                    heapq.heappush(heap, (core.now, cid))
+                    continue
+                if any(c.has_work() for c in cores):
+                    # Nothing stealable right now, but a busy core will
+                    # push children shortly: poll again after a steal
+                    # latency (bounded spinning, as a real scheduler does).
+                    core.now = max(core.now, now) + self.config.steal_overhead_cycles
+                    heapq.heappush(heap, (core.now, cid))
+                    continue
+            finish[cid] = core.now
+
+        counts = [0] * len(self.plans)
+        for core in cores:
+            for i, c in enumerate(core.counts):
+                counts[i] += c
+        stats = [core.stats for core in cores]
+        return SoftwareResult(
+            design=self.config.design_name,
+            cycles=max(finish) if finish else 0.0,
+            counts=tuple(counts),
+            core_stats=tuple(stats),
+            combined=merge_pe_stats(stats),
+            llc=llc.stats,
+            dram=dram.stats,
+            total_steals=sum(core.steals for core in cores),
+        )
+
+
+def simulate_software(
+    graph: CSRGraph,
+    workload,
+    config: SoftwareConfig,
+    *,
+    roots: Iterable[int] | None = None,
+) -> SoftwareResult:
+    """Run one mining job on the software model.
+
+    Accepts the same workload specs as :func:`repro.hw.api.simulate`.
+    """
+    from repro.hw.api import resolve_workload
+
+    _, plans, _ = resolve_workload(workload)
+    return SoftwareMiner(graph, plans, config).run(roots)

@@ -1,0 +1,34 @@
+"""Tests for the ``python -m repro.bench`` driver."""
+
+import pytest
+
+from repro.bench.__main__ import ALL_EXPERIMENTS, main
+
+
+class TestRegistry:
+    def test_all_paper_experiments_registered(self):
+        for name in ("table1", "table2", "fig9", "fig10", "fig11", "fig12",
+                     "fig13", "table3"):
+            assert name in ALL_EXPERIMENTS
+
+    def test_extensions_registered(self):
+        for name in ("ablation_scheduling", "ablation_edge_induced",
+                     "software_comparison", "sensitivity_dram_latency"):
+            assert name in ALL_EXPERIMENTS
+
+
+class TestMain:
+    def test_only_table2(self, capsys, tmp_path):
+        assert main(["--only", "table2", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "=== table2" in out
+        assert (tmp_path / "table2.txt").exists()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--only", "fig99"])
+
+    def test_table1_and_table2(self, capsys):
+        assert main(["--only", "table1", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 2" in out

@@ -1,0 +1,94 @@
+"""Smoke tests for experiment definitions on reduced grids.
+
+The full grids live in ``benchmarks/``; here each experiment runs on a
+small slice to validate plumbing, rendering, and result shapes quickly.
+"""
+
+import pytest
+
+from repro.bench import experiments
+from repro.bench.ablations import (
+    ablation_group_size,
+    ablation_scheduling,
+)
+from repro.bench.runner import clear_cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestTableExperiments:
+    def test_table1_renders(self):
+        result = experiments.table1()
+        text = result.render()
+        assert "AstroPh" in text and "Orkut" in text
+        assert len(result.rows) == 6
+
+    def test_table2_components(self):
+        result = experiments.table2()
+        assert len(result.components) == 5
+        assert result.total_mm2 == pytest.approx(0.934, rel=0.02)
+        assert "Table 2" in result.render()
+
+    def test_table3_reduced(self):
+        result = experiments.table3(patterns=["tc", "tt"], graph_name="As")
+        assert set(result.rows) == {"tc", "tt"}
+        for active, balance in result.rows.values():
+            assert 0 <= active <= 1
+            assert 0 <= balance <= 1
+        assert "Active Rate" in result.render()
+
+
+class TestGridExperiments:
+    def test_fig9_slice(self):
+        result = experiments.fig9(patterns=["tc"], graphs=["As"])
+        assert ("tc", "As") in result.grid
+        assert result.grid[("tc", "As")] > 1.0
+        assert "geomean" in result.render()
+
+    def test_fig10_slice(self):
+        result = experiments.fig10(patterns=["tc"], graphs=["Mi"])
+        assert result.grid[("tc", "Mi")] > 0.5
+
+    def test_fig11_slice(self):
+        result = experiments.fig11(patterns=["tc"], graphs=["As"])
+        assert result.grid[("tc", "As")] > 0.5
+
+    def test_fig12_slice(self):
+        result = experiments.fig12(
+            patterns=["cyc"], iu_counts=(1, 8), graph_name="As"
+        )
+        assert result.series[("cyc", 1)] == pytest.approx(1.0)
+        assert result.series[("cyc", 8)] > 1.0
+        assert ("cyc-unlimited", 8) in result.series
+        assert "Figure 12" in result.render()
+
+    def test_fig13_slice(self):
+        result = experiments.fig13(
+            graphs=["Mi"], capacities_mb=(2, 4), pattern="tc"
+        )
+        assert ("Mi", "FINGERS", 2) in result.curves
+        assert 0 <= result.curves[("Mi", "FINGERS", 2)] <= 1
+        assert "%" in result.render()
+
+
+class TestAblations:
+    def test_scheduling_small(self):
+        result = ablation_scheduling(graph_name="As", pattern="tc", num_pes=2)
+        assert set(result.data) == {
+            "dynamic", "static_interleave", "static_block"
+        }
+        counts = {r.counts for r in result.data.values()}
+        assert len(counts) == 1
+        assert "Ablation" in result.render()
+
+    def test_group_size_small(self):
+        result = ablation_group_size(
+            graph_name="As", pattern="tc", values=(1, 4, None)
+        )
+        assert None in result.data
+        assert result.data[1].counts == result.data[4].counts

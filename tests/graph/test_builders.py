@@ -1,0 +1,75 @@
+"""Tests for graph builders and relabelling."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    from_adjacency,
+    from_edges,
+    induced_subgraph,
+    relabel_by_degree,
+    star_graph,
+)
+
+
+class TestFromAdjacency:
+    def test_symmetrizes(self):
+        g = from_adjacency({0: [1, 2], 1: [], 2: []})
+        assert g.has_edge(1, 0)
+        assert g.has_edge(2, 0)
+        assert g.num_edges == 2
+
+    def test_empty(self):
+        g = from_adjacency({})
+        assert g.num_vertices == 0
+
+    def test_isolated_key(self):
+        g = from_adjacency({3: []})
+        assert g.num_vertices == 4
+        assert g.num_edges == 0
+
+
+class TestInducedSubgraph:
+    def test_triangle_from_k5(self, k5):
+        sub, ids = induced_subgraph(k5, [0, 2, 4])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3
+        assert list(ids) == [0, 2, 4]
+
+    def test_disconnected_selection(self, p4):
+        sub, ids = induced_subgraph(p4, [0, 3])
+        assert sub.num_vertices == 2
+        assert sub.num_edges == 0
+
+    def test_duplicates_collapsed(self, k5):
+        sub, ids = induced_subgraph(k5, [1, 1, 2])
+        assert sub.num_vertices == 2
+        assert sub.num_edges == 1
+
+    def test_out_of_range_rejected(self, k5):
+        with pytest.raises(ValueError):
+            induced_subgraph(k5, [0, 99])
+
+
+class TestRelabelByDegree:
+    def test_star_center_becomes_zero(self):
+        g = star_graph(6)
+        # Shuffle so the hub is not already vertex 0.
+        shuffled = from_edges([(5, i) for i in [0, 1, 2, 3, 4, 6]])
+        relabelled = relabel_by_degree(shuffled)
+        assert relabelled.degree(0) == relabelled.max_degree()
+
+    def test_preserves_structure(self, small_random):
+        relabelled = relabel_by_degree(small_random)
+        assert relabelled.num_edges == small_random.num_edges
+        assert sorted(relabelled.degrees()) == sorted(small_random.degrees())
+
+    def test_descending_order(self, small_random):
+        relabelled = relabel_by_degree(small_random)
+        degrees = relabelled.degrees()
+        assert all(degrees[i] >= degrees[i + 1] for i in range(len(degrees) - 1))
+
+    def test_ascending_option(self, small_random):
+        relabelled = relabel_by_degree(small_random, descending=False)
+        degrees = relabelled.degrees()
+        assert all(degrees[i] <= degrees[i + 1] for i in range(len(degrees) - 1))

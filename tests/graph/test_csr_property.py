@@ -1,0 +1,55 @@
+"""Property-based tests of the CSR invariants under random edge lists."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import from_edges
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(0, 30)), max_size=120
+)
+
+
+class TestBuilderProperties:
+    @given(edge_lists)
+    @settings(max_examples=150)
+    def test_invariants_always_hold(self, edges):
+        g = from_edges(edges)
+        # Sorted strictly increasing rows.
+        for v in range(g.num_vertices):
+            nbrs = g.neighbors(v)
+            assert all(nbrs[i] < nbrs[i + 1] for i in range(len(nbrs) - 1))
+            assert v not in nbrs
+        # Symmetry.
+        for u, v in g.edges():
+            assert g.has_edge(v, u)
+
+    @given(edge_lists)
+    @settings(max_examples=100)
+    def test_edge_count_matches_cleaned_input(self, edges):
+        g = from_edges(edges)
+        cleaned = {frozenset(e) for e in edges if e[0] != e[1]}
+        assert g.num_edges == len(cleaned)
+
+    @given(edge_lists)
+    @settings(max_examples=100)
+    def test_degree_sum_is_twice_edges(self, edges):
+        g = from_edges(edges)
+        assert int(g.degrees().sum()) == 2 * g.num_edges
+
+    @given(edge_lists)
+    @settings(max_examples=60)
+    def test_rebuild_is_identity(self, edges):
+        g = from_edges(edges)
+        rebuilt = from_edges(list(g.edges()), num_vertices=g.num_vertices)
+        assert rebuilt == g
+
+    @given(edge_lists)
+    @settings(max_examples=60)
+    def test_has_edge_consistent_with_edges(self, edges):
+        g = from_edges(edges)
+        listed = set(g.edges())
+        for u in range(g.num_vertices):
+            for v in range(u + 1, g.num_vertices):
+                assert g.has_edge(u, v) == ((u, v) in listed)

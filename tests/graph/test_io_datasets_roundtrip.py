@@ -1,0 +1,48 @@
+"""Round-trip persistence of the shipped dataset analogs."""
+
+import pytest
+
+from repro.graph import (
+    dataset_names,
+    load_dataset,
+    load_edge_list,
+    load_npz,
+    save_edge_list,
+    save_npz,
+)
+
+
+@pytest.mark.parametrize("name", ["As", "Mi"])
+def test_dataset_edge_list_roundtrip(tmp_path, name):
+    g = load_dataset(name)
+    path = tmp_path / f"{name}.txt"
+    save_edge_list(g, path)
+    loaded = load_edge_list(path, num_vertices=g.num_vertices)
+    assert loaded == g
+
+
+@pytest.mark.parametrize("name", ["As", "Or"])
+def test_dataset_npz_roundtrip(tmp_path, name):
+    g = load_dataset(name)
+    path = tmp_path / f"{name}.npz"
+    save_npz(g, path)
+    assert load_npz(path) == g
+
+
+def test_npz_smaller_than_text(tmp_path):
+    g = load_dataset("As")
+    txt = tmp_path / "g.txt"
+    npz = tmp_path / "g.npz"
+    save_edge_list(g, txt)
+    save_npz(g, npz)
+    assert npz.stat().st_size < txt.stat().st_size
+
+
+def test_loaded_graph_mines_identically(tmp_path):
+    from repro.mining import count
+
+    g = load_dataset("As")
+    path = tmp_path / "as.txt"
+    save_edge_list(g, path)
+    loaded = load_edge_list(path, num_vertices=g.num_vertices)
+    assert count(loaded, "tc") == count(g, "tc")

@@ -1,0 +1,137 @@
+"""Tests for traversal utilities and the small-world / SBM generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    bfs_distances,
+    bfs_order,
+    clustering_coefficient,
+    complete_graph,
+    connected_components,
+    cycle_graph,
+    erdos_renyi,
+    from_edges,
+    largest_component_fraction,
+    path_graph,
+    star_graph,
+    stochastic_block,
+    triangle_count_reference,
+    watts_strogatz,
+)
+from repro.mining import count
+
+
+class TestBFS:
+    def test_order_starts_at_source(self, p4):
+        assert bfs_order(p4, 0)[0] == 0
+
+    def test_order_covers_component(self, c6):
+        assert sorted(bfs_order(c6, 3)) == list(range(6))
+
+    def test_distances_path(self, p4):
+        assert list(bfs_distances(p4, 0)) == [0, 1, 2, 3]
+
+    def test_unreachable_minus_one(self):
+        g = from_edges([(0, 1)], num_vertices=4)
+        dist = bfs_distances(g, 0)
+        assert dist[1] == 1
+        assert dist[2] == -1 and dist[3] == -1
+
+    def test_source_out_of_range(self, p4):
+        with pytest.raises(IndexError):
+            bfs_order(p4, 99)
+        with pytest.raises(IndexError):
+            bfs_distances(p4, -1)
+
+
+class TestComponents:
+    def test_single_component(self, c6):
+        comp = connected_components(c6)
+        assert len(set(comp)) == 1
+
+    def test_two_components(self):
+        g = from_edges([(0, 1), (2, 3)])
+        comp = connected_components(g)
+        assert comp[0] == comp[1]
+        assert comp[2] == comp[3]
+        assert comp[0] != comp[2]
+
+    def test_isolated_vertices_each_own(self):
+        g = from_edges([], num_vertices=3)
+        assert len(set(connected_components(g))) == 3
+
+    def test_largest_fraction(self):
+        g = from_edges([(0, 1), (1, 2), (3, 4)], num_vertices=5)
+        assert largest_component_fraction(g) == pytest.approx(0.6)
+
+    def test_largest_fraction_empty(self):
+        assert largest_component_fraction(from_edges([], num_vertices=0)) == 0.0
+
+
+class TestTriangleReference:
+    def test_known_shapes(self):
+        assert triangle_count_reference(complete_graph(5)) == 10
+        assert triangle_count_reference(cycle_graph(5)) == 0
+        assert triangle_count_reference(star_graph(8)) == 0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_agrees_with_mining_engine(self, seed):
+        g = erdos_renyi(80, 0.15, seed=seed)
+        assert triangle_count_reference(g) == count(g, "tc")
+
+    def test_clustering_bounds(self, small_random):
+        cc = clustering_coefficient(small_random)
+        assert 0.0 <= cc <= 1.0
+
+    def test_clustering_complete(self):
+        assert clustering_coefficient(complete_graph(6)) == pytest.approx(1.0)
+
+    def test_clustering_no_wedges(self):
+        g = from_edges([(0, 1)], num_vertices=2)
+        assert clustering_coefficient(g) == 0.0
+
+
+class TestWattsStrogatz:
+    def test_zero_rewiring_is_lattice(self):
+        g = watts_strogatz(20, 4, 0.0, seed=0)
+        assert all(g.degree(v) == 4 for v in range(20))
+
+    def test_determinism(self):
+        assert watts_strogatz(50, 4, 0.2, seed=3) == watts_strogatz(
+            50, 4, 0.2, seed=3
+        )
+
+    def test_high_clustering_at_low_p(self):
+        lattice = watts_strogatz(200, 6, 0.0, seed=0)
+        random_ish = erdos_renyi(200, 6 / 199, seed=0)
+        assert clustering_coefficient(lattice) > clustering_coefficient(
+            random_ish
+        ) + 0.2
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 3, 0.1)  # odd k
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 10, 0.1)  # k >= n
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 4, 1.5)
+
+
+class TestStochasticBlock:
+    def test_blocks_denser_inside(self):
+        g = stochastic_block([30, 30], 0.4, 0.02, seed=1)
+        inside = sum(
+            1 for u, v in g.edges() if (u < 30) == (v < 30)
+        )
+        outside = g.num_edges - inside
+        assert inside > 3 * outside
+
+    def test_determinism(self):
+        a = stochastic_block([10, 10], 0.5, 0.1, seed=7)
+        b = stochastic_block([10, 10], 0.5, 0.1, seed=7)
+        assert a == b
+
+    def test_invalid_probs(self):
+        with pytest.raises(ValueError):
+            stochastic_block([5, 5], 0.1, 0.5)  # p_out > p_in

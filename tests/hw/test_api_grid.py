@@ -1,0 +1,78 @@
+"""Tests for the hw API helpers: speedup_grid and workload resolution."""
+
+import pytest
+
+from repro.graph import erdos_renyi
+from repro.hw.api import (
+    FingersConfig,
+    FlexMinerConfig,
+    resolve_workload,
+    simulate,
+    speedup_grid,
+)
+from repro.pattern import Pattern, compile_plan, named_pattern
+from repro.pattern.multipattern import compile_multi_plan, motif_patterns
+
+
+class TestResolveWorkload:
+    def test_string(self):
+        name, plans, names = resolve_workload("tc")
+        assert name == "tc"
+        assert len(plans) == 1
+        assert names == ("tc",)
+
+    def test_3mc(self):
+        name, plans, names = resolve_workload("3mc")
+        assert name == "3mc"
+        assert len(plans) == 2
+        assert set(names) == {"tc", "wedge"}
+
+    def test_pattern_object(self):
+        name, plans, _ = resolve_workload(named_pattern("dia"))
+        assert "k=4" in name
+        assert plans[0].num_levels == 4
+
+    def test_plan_object_passthrough(self):
+        plan = compile_plan(named_pattern("tc"))
+        _, plans, _ = resolve_workload(plan)
+        assert plans[0] is plan
+
+    def test_multiplan_object(self):
+        patterns, names = motif_patterns(3)
+        multi = compile_multi_plan(patterns, names=names)
+        name, plans, out_names = resolve_workload(multi)
+        assert "+" in name
+        assert tuple(out_names) == tuple(names)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_workload(3.14)
+
+
+class TestSpeedupGrid:
+    def test_two_by_two(self):
+        graphs = {
+            "a": erdos_renyi(30, 0.3, seed=1),
+            "b": erdos_renyi(30, 0.3, seed=2),
+        }
+        grid = speedup_grid(
+            graphs,
+            ["tc", "tt"],
+            FingersConfig(num_pes=1),
+            FlexMinerConfig(num_pes=1),
+        )
+        assert set(grid) == {
+            ("tc", "a"), ("tc", "b"), ("tt", "a"), ("tt", "b")
+        }
+        assert all(v > 0 for v in grid.values())
+
+    def test_roots_for_applied(self):
+        g = erdos_renyi(30, 0.3, seed=3)
+        grid = speedup_grid(
+            {"g": g},
+            ["tc"],
+            FingersConfig(num_pes=1),
+            FlexMinerConfig(num_pes=1),
+            roots_for={"g": range(0, 30, 3)},
+        )
+        assert ("tc", "g") in grid

@@ -1,0 +1,64 @@
+"""Additional unit tests for the task-divider chunking model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.divider import DividerWork, divider_phase_cycles
+
+
+class TestChunkCounts:
+    def test_exact_capacity_no_chunking(self):
+        w = DividerWork(15, 24, 15, 24)
+        assert w.num_chunks == 1
+
+    def test_one_over_long_capacity(self):
+        w = DividerWork(16, 24, 15, 24)
+        assert w.num_chunks == 2
+
+    def test_short_overflow(self):
+        w = DividerWork(10, 49, 15, 24)
+        assert w.num_chunks == 3  # ceil(49/24) = 3, long chunks = 1
+
+    def test_total_cycles_positive(self):
+        w = DividerWork(5, 10, 15, 24)
+        assert w.total_cycles >= 10
+
+    @given(
+        st.integers(1, 200), st.integers(1, 500),
+        st.integers(1, 32), st.integers(1, 64),
+    )
+    @settings(max_examples=150)
+    def test_chunks_cover_heads(self, nl, ns, cl, cs):
+        """Chunk count must be enough to cover both head lists."""
+        w = DividerWork(nl, ns, cl, cs)
+        assert w.num_chunks >= max(-(-nl // cl), -(-ns // cs))
+
+    @given(st.integers(1, 200), st.integers(1, 500))
+    @settings(max_examples=100)
+    def test_cycles_scale_with_heads(self, nl, ns):
+        small = DividerWork(nl, ns, 15, 24)
+        big = DividerWork(nl, ns * 3, 15, 24)
+        assert big.total_cycles >= small.total_cycles
+
+
+class TestPhase:
+    def test_single_work(self):
+        phase = divider_phase_cycles([DividerWork(4, 8, 15, 24)], 12)
+        assert phase == DividerWork(4, 8, 15, 24).total_cycles
+
+    def test_parallelism_caps_at_divider_count(self):
+        works = [DividerWork(4, 8, 15, 24)] * 24
+        on_12 = divider_phase_cycles(works, 12)
+        on_24 = divider_phase_cycles(works, 24)
+        assert on_24 <= on_12
+
+    @given(st.lists(st.tuples(st.integers(1, 50), st.integers(1, 80)),
+                    min_size=1, max_size=20))
+    @settings(max_examples=80)
+    def test_phase_bounds(self, specs):
+        works = [DividerWork(nl, ns, 15, 24) for nl, ns in specs]
+        phase = divider_phase_cycles(works, 12)
+        total = sum(w.total_cycles for w in works)
+        assert phase <= total
+        assert phase >= total / 12 - 1

@@ -1,0 +1,67 @@
+"""Unit tests of the brute-force oracle itself (the oracle needs its own
+sanity anchor: hand-computable closed forms)."""
+
+import math
+
+import pytest
+
+from repro.graph import complete_graph, cycle_graph, path_graph, star_graph
+from repro.mining import count_instances_bruteforce, count_maps_bruteforce
+from repro.pattern import Pattern, named_pattern
+
+
+class TestClosedForms:
+    def test_triangles_in_kn(self):
+        for n in (3, 4, 5, 6):
+            g = complete_graph(n)
+            assert count_instances_bruteforce(g, named_pattern("tc")) == math.comb(n, 3)
+
+    def test_maps_count_includes_automorphisms(self):
+        g = complete_graph(4)
+        maps = count_maps_bruteforce(g, named_pattern("tc"))
+        assert maps == math.comb(4, 3) * 6  # instances x |Aut|
+
+    def test_edges_in_kn(self):
+        g = complete_graph(5)
+        assert count_instances_bruteforce(g, named_pattern("edge")) == 10
+
+    def test_wedges_in_star(self):
+        g = star_graph(6)
+        assert count_instances_bruteforce(g, named_pattern("wedge")) == 15
+
+    def test_paths_in_cycle(self):
+        g = cycle_graph(7)
+        # Each vertex anchors exactly one induced 3-path going clockwise.
+        assert count_instances_bruteforce(g, named_pattern("3path")) == 7
+
+    def test_induced_cycle_in_c4(self):
+        assert count_instances_bruteforce(
+            cycle_graph(4), named_pattern("cyc")
+        ) == 1
+
+    def test_no_triangle_in_path(self):
+        assert count_instances_bruteforce(
+            path_graph(6), named_pattern("tc")
+        ) == 0
+
+
+class TestSemantics:
+    def test_edge_induced_superset(self):
+        from repro.graph import erdos_renyi
+
+        g = erdos_renyi(14, 0.4, seed=9)
+        pattern = named_pattern("cyc")
+        vi = count_instances_bruteforce(g, pattern, vertex_induced=True)
+        ei = count_instances_bruteforce(g, pattern, vertex_induced=False)
+        assert ei >= vi
+
+    def test_k4_contains_edge_induced_cycles_only(self):
+        g = complete_graph(4)
+        pattern = named_pattern("cyc")
+        assert count_instances_bruteforce(g, pattern, vertex_induced=True) == 0
+        assert count_instances_bruteforce(g, pattern, vertex_induced=False) == 3
+
+    def test_divisibility_assertion(self):
+        # count_maps is always a multiple of |Aut|; the helper asserts it.
+        g = complete_graph(5)
+        assert count_instances_bruteforce(g, named_pattern("dia")) == 0

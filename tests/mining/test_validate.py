@@ -1,0 +1,49 @@
+"""Tests for the cross-validation utilities."""
+
+import pytest
+
+from repro.graph import erdos_renyi
+from repro.mining.validate import cross_validate
+
+
+class TestCrossValidate:
+    def test_small_graph_all_executors(self):
+        g = erdos_renyi(20, 0.3, seed=2)
+        report = cross_validate(g, "tc", include_software=True)
+        assert report.consistent
+        assert "bruteforce" in report.counts
+        assert "fingers" in report.counts
+        assert "software" in report.counts
+
+    @pytest.mark.parametrize("name", ["tt", "cyc", "dia"])
+    def test_benchmark_patterns(self, name):
+        g = erdos_renyi(18, 0.35, seed=3)
+        assert cross_validate(g, name).consistent
+
+    def test_large_graph_skips_bruteforce(self):
+        g = erdos_renyi(200, 0.05, seed=4)
+        report = cross_validate(g, "tc")
+        assert report.consistent
+        assert "bruteforce" not in report.counts
+
+    def test_roots_skip_bruteforce(self):
+        g = erdos_renyi(20, 0.3, seed=5)
+        report = cross_validate(g, "tc", roots=[0, 1, 2])
+        assert "bruteforce" not in report.counts
+        assert report.consistent
+
+    def test_edge_induced(self):
+        g = erdos_renyi(16, 0.3, seed=6)
+        report = cross_validate(g, "tt", vertex_induced=False)
+        assert report.consistent
+
+    def test_str_rendering(self):
+        g = erdos_renyi(15, 0.3, seed=7)
+        text = str(cross_validate(g, "tc"))
+        assert "CONSISTENT" in text
+        assert "engine" in text
+
+    def test_engine_only(self):
+        g = erdos_renyi(15, 0.3, seed=8)
+        report = cross_validate(g, "tc", include_hardware=False)
+        assert set(report.counts) == {"engine", "bruteforce"}

@@ -1,0 +1,97 @@
+"""Tests for automorphism groups and symmetry-breaking restrictions."""
+
+import pytest
+
+from repro.pattern import (
+    Pattern,
+    automorphism_count,
+    automorphisms,
+    named_pattern,
+    orbits,
+    symmetry_restrictions,
+)
+from repro.pattern.symmetry import Restriction
+
+
+class TestAutomorphisms:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("tc", 6),       # S3
+            ("4cl", 24),     # S4
+            ("5cl", 120),    # S5
+            ("tt", 2),       # swap the two free triangle vertices
+            ("cyc", 8),      # dihedral D4
+            ("dia", 4),      # swap deg-3 pair x swap deg-2 pair
+            ("wedge", 2),
+            ("edge", 2),
+            ("3path", 2),
+            ("star3", 6),    # S3 on the leaves
+        ],
+    )
+    def test_group_orders(self, name, expected):
+        assert automorphism_count(named_pattern(name)) == expected
+
+    def test_identity_always_present(self):
+        p = Pattern(4, [(0, 1), (1, 2), (2, 3)])
+        assert tuple(range(4)) in automorphisms(p)
+
+    def test_asymmetric_pattern(self):
+        # Triangle with a leaf on one vertex and a 2-path on another:
+        # the two degree-3 vertices have distinguishable attachments.
+        p = Pattern(6, [(0, 1), (0, 2), (1, 2), (0, 3), (1, 4), (4, 5)])
+        assert automorphism_count(p) == 1
+
+    def test_automorphisms_preserve_edges(self):
+        p = named_pattern("dia")
+        for perm in automorphisms(p):
+            for a, b in p.edges():
+                assert p.has_edge(perm[a], perm[b])
+
+
+class TestOrbits:
+    def test_clique_single_orbit(self):
+        assert orbits(named_pattern("4cl")) == [frozenset({0, 1, 2, 3})]
+
+    def test_tt_orbits(self):
+        obs = orbits(named_pattern("tt"))
+        assert frozenset({1, 2}) in obs
+        assert frozenset({0}) in obs
+        assert frozenset({3}) in obs
+
+    def test_star_orbits(self):
+        obs = orbits(named_pattern("star3"))
+        assert frozenset({0}) in obs
+        assert frozenset({1, 2, 3}) in obs
+
+
+class TestRestrictions:
+    def test_triangle_total_order(self):
+        rs = symmetry_restrictions(named_pattern("tc"))
+        assert set(rs) == {
+            Restriction(0, 1),
+            Restriction(0, 2),
+            Restriction(1, 2),
+        }
+
+    def test_asymmetric_none(self):
+        p = Pattern(6, [(0, 1), (0, 2), (1, 2), (0, 3), (1, 4), (4, 5)])
+        assert symmetry_restrictions(p) == ()
+
+    def test_diamond_two_pairs(self):
+        # In its canonical labelling, dia has deg-3 vertices {0, 1} and
+        # deg-2 vertices {2, 3}.
+        rs = symmetry_restrictions(named_pattern("dia"))
+        assert set(rs) == {Restriction(0, 1), Restriction(2, 3)}
+
+    def test_all_lower_bounds(self):
+        for name in ["tc", "4cl", "5cl", "tt", "cyc", "dia"]:
+            for r in symmetry_restrictions(named_pattern(name)):
+                assert r.smaller < r.larger
+                assert r.applies_at() == r.larger
+
+    def test_count_divides_group_order(self):
+        """Restriction count per level can never exceed earlier levels."""
+        rs = symmetry_restrictions(named_pattern("5cl"))
+        # Full order: 4 + 3 + 2 + 1 = 10 pairwise restrictions.
+        assert len(rs) == 10

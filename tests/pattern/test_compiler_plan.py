@@ -1,0 +1,118 @@
+"""Tests for the plan compiler: orders, schedules, sharing, restrictions."""
+
+import pytest
+
+from repro.pattern import (
+    OpKind,
+    Pattern,
+    choose_vertex_order,
+    compile_plan,
+    named_pattern,
+)
+
+
+class TestVertexOrder:
+    def test_order_is_permutation(self):
+        for name in ["tc", "4cl", "tt", "cyc", "dia"]:
+            p = named_pattern(name)
+            order = choose_vertex_order(p)
+            assert sorted(order) == list(range(p.num_vertices))
+
+    def test_connectivity_preserving(self):
+        for name in ["tc", "4cl", "5cl", "tt", "cyc", "dia", "house"]:
+            p = named_pattern(name)
+            order = choose_vertex_order(p)
+            q = p.relabel(order)
+            for j in range(1, q.num_vertices):
+                assert any(q.has_edge(i, j) for i in range(j))
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError, match="connected"):
+            choose_vertex_order(Pattern(4, [(0, 1), (2, 3)]))
+
+    def test_tt_starts_at_triangle_hub(self):
+        # Vertex 0 (degree 3) must come first.
+        assert choose_vertex_order(named_pattern("tt"))[0] == 0
+
+    def test_single_vertex(self):
+        assert choose_vertex_order(Pattern(1, [])) == (0,)
+
+
+class TestCompiledPlans:
+    def test_tt_matches_paper_figure2(self):
+        """The compiled tailed-triangle plan must be exactly Figure 2."""
+        plan = compile_plan(named_pattern("tt"))
+        # Level 0: one op, S = N(u0), serving levels 1, 2, 3.
+        lvl0 = plan.levels[0]
+        assert lvl0.num_ops == 1
+        assert lvl0.ops[0].kind is OpKind.INIT_COPY
+        assert lvl0.ops[0].serves == (1, 2, 3)
+        # Level 1: S2 = S ∩ N(u1) and S3(2) = S − N(u1) — two distinct ops.
+        lvl1 = plan.levels[1]
+        kinds = sorted(op.kind.value for op in lvl1.ops)
+        assert kinds == ["intersect", "subtract"]
+        # Level 2: S3 = S3(2) − N(u2).
+        lvl2 = plan.levels[2]
+        assert lvl2.num_ops == 1
+        assert lvl2.ops[0].kind is OpKind.SUBTRACT
+
+    def test_clique_shares_everything(self):
+        """k-clique has exactly one op per level (all S_j identical)."""
+        for name, k in [("tc", 3), ("4cl", 4), ("5cl", 5)]:
+            plan = compile_plan(named_pattern(name))
+            assert all(s.num_ops == 1 for s in plan.levels), name
+            assert plan.max_set_parallelism() == 1
+
+    def test_cyc_anti_subtraction(self):
+        """The 4-cycle plan postpones u2's init to level 1 and
+        anti-subtracts N(u0)."""
+        plan = compile_plan(named_pattern("cyc"))
+        anti = [
+            op
+            for sched in plan.levels
+            for op in sched.ops
+            if op.kind is OpKind.ANTI_SUBTRACT
+        ]
+        assert len(anti) == 1
+        assert anti[0].operand_level == 0
+
+    def test_extend_states_defined(self):
+        for name in ["tc", "4cl", "5cl", "tt", "cyc", "dia", "house"]:
+            plan = compile_plan(named_pattern(name))
+            for sched in plan.levels:
+                assert sched.extend_state is not None
+
+    def test_edge_induced_has_no_subtractions(self):
+        plan = compile_plan(named_pattern("tt"), vertex_induced=False)
+        kinds = {op.kind for s in plan.levels for op in s.ops}
+        assert OpKind.SUBTRACT not in kinds
+        assert OpKind.ANTI_SUBTRACT not in kinds
+
+    def test_explicit_order(self):
+        p = named_pattern("tc")
+        plan = compile_plan(p, order=[2, 1, 0])
+        assert plan.vertex_order == (2, 1, 0)
+
+    def test_non_connectivity_preserving_order_rejected(self):
+        p = named_pattern("tt")  # vertex 3 only touches vertex 0
+        with pytest.raises(ValueError, match="connectivity-preserving"):
+            compile_plan(p, order=[1, 3, 0, 2])
+
+    def test_describe_mentions_levels(self):
+        text = compile_plan(named_pattern("tt")).describe()
+        assert "level 0" in text and "level 2" in text
+
+    def test_exclude_levels(self):
+        plan = compile_plan(named_pattern("cyc"))
+        # In the compiled cyc order, level 2 is non-adjacent to level 0,
+        # so u0 must be explicitly excluded from level-2 candidates.
+        assert 0 in plan.exclude_levels(2)
+
+    def test_lower_bound_levels_match_restrictions(self):
+        plan = compile_plan(named_pattern("tc"))
+        assert plan.lower_bound_levels(1) == (0,)
+        assert set(plan.lower_bound_levels(2)) == {0, 1}
+
+    def test_total_ops_counts(self):
+        plan = compile_plan(named_pattern("tt"))
+        assert plan.total_ops() == 4  # 1 + 2 + 1

@@ -1,0 +1,95 @@
+"""Property-based tests of compiler invariants over random patterns."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pattern import (
+    OpKind,
+    Pattern,
+    automorphism_count,
+    compile_plan,
+    symmetry_restrictions,
+)
+
+
+@st.composite
+def connected_patterns(draw, max_k=5):
+    """Random connected pattern: a random spanning tree plus extra edges."""
+    k = draw(st.integers(2, max_k))
+    edges = set()
+    for v in range(1, k):
+        parent = draw(st.integers(0, v - 1))
+        edges.add((parent, v))
+    extra_pool = [
+        (a, b) for a in range(k) for b in range(a + 1, k) if (a, b) not in edges
+    ]
+    if extra_pool:
+        extras = draw(st.lists(st.sampled_from(extra_pool), max_size=len(extra_pool)))
+        edges.update(extras)
+    return Pattern(k, sorted(edges))
+
+
+class TestCompilerInvariants:
+    @given(connected_patterns())
+    @settings(max_examples=120, deadline=None)
+    def test_plan_well_formed(self, pattern):
+        plan = compile_plan(pattern)
+        k = pattern.num_vertices
+        assert len(plan.levels) == k - 1
+        seen_states: set[int] = set()
+        for sched in plan.levels:
+            for op in sched.ops:
+                # Sources must exist before use; results are fresh.
+                if op.source_state is not None:
+                    assert op.source_state in seen_states
+                assert op.result_state not in seen_states
+                seen_states.add(op.result_state)
+                # Operand levels never exceed the current level.
+                assert op.operand_level <= sched.level
+                if op.kind is not OpKind.ANTI_SUBTRACT:
+                    assert op.operand_level == sched.level or (
+                        op.kind is OpKind.INIT_COPY
+                    )
+            assert sched.extend_state in seen_states
+
+    @given(connected_patterns())
+    @settings(max_examples=120, deadline=None)
+    def test_serves_cover_all_future_levels(self, pattern):
+        """Every level's candidate set must eventually be materialized."""
+        plan = compile_plan(pattern)
+        for j in range(1, pattern.num_vertices):
+            served = [
+                op
+                for sched in plan.levels
+                for op in sched.ops
+                if j in op.serves
+            ]
+            assert served, f"level {j} never updated"
+
+    @given(connected_patterns())
+    @settings(max_examples=100, deadline=None)
+    def test_restriction_count_bounded_by_group(self, pattern):
+        rs = symmetry_restrictions(pattern.relabel(
+            compile_plan(pattern).vertex_order
+        ))
+        aut = automorphism_count(pattern)
+        # A stabilizer chain emits at most sum of (orbit sizes - 1) <= k-1
+        # restrictions per stage; trivial groups emit none.
+        if aut == 1:
+            assert rs == ()
+        else:
+            assert len(rs) >= 1
+
+    @given(connected_patterns(max_k=4))
+    @settings(max_examples=60, deadline=None)
+    def test_engine_matches_oracle_random_patterns(self, pattern):
+        from repro.graph import erdos_renyi
+        from repro.mining import count_instances_bruteforce
+        from repro.mining.engine import count_embeddings
+
+        g = erdos_renyi(12, 0.45, seed=pattern.num_edges * 7 + 1)
+        plan = compile_plan(pattern)
+        assert count_embeddings(g, plan) == count_instances_bruteforce(
+            g, pattern
+        )

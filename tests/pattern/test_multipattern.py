@@ -1,0 +1,71 @@
+"""Tests for multi-pattern plan merging and motif enumeration."""
+
+import pytest
+
+from repro.pattern import (
+    Pattern,
+    compile_multi_plan,
+    motif_patterns,
+    named_pattern,
+)
+
+
+class TestMotifEnumeration:
+    def test_3motifs(self):
+        patterns, names = motif_patterns(3)
+        assert len(patterns) == 2  # wedge + triangle
+        assert set(names) == {"wedge", "tc"}
+
+    def test_4motifs(self):
+        patterns, names = motif_patterns(4)
+        assert len(patterns) == 6  # classic result
+        assert "4cl" in names and "cyc" in names and "dia" in names
+
+    def test_5motifs_count(self):
+        patterns, _ = motif_patterns(5)
+        assert len(patterns) == 21  # connected graphs on 5 vertices
+
+    def test_all_connected(self):
+        patterns, _ = motif_patterns(4)
+        assert all(p.is_connected() for p in patterns)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            motif_patterns(1)
+        with pytest.raises(ValueError):
+            motif_patterns(6)
+
+
+class TestMultiPlan:
+    def test_3mc_shares_level0(self):
+        patterns, names = motif_patterns(3)
+        multi = compile_multi_plan(patterns, names=names)
+        assert multi.num_patterns == 2
+        assert multi.shared_prefix >= 1
+        # Both plans' level-0 op must be the same unified state.
+        s0 = {p.levels[0].ops[0].result_state for p in multi.plans}
+        assert len(s0) == 1
+
+    def test_cliques_share_prefix(self):
+        multi = compile_multi_plan(
+            [named_pattern("tc"), named_pattern("4cl")], names=["tc", "4cl"]
+        )
+        # The 4-clique prefix is exactly the triangle computation.
+        assert multi.shared_prefix >= 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compile_multi_plan([])
+
+    def test_default_names(self):
+        multi = compile_multi_plan([named_pattern("tc")])
+        assert multi.names == ("p0",)
+
+    def test_state_ids_disjoint_when_plans_differ(self):
+        patterns, names = motif_patterns(3)
+        multi = compile_multi_plan(patterns, names=names)
+        # Level-1 ops differ (intersect vs subtract), so they get
+        # different unified states.
+        lvl1 = [p.levels[1].ops[0] for p in multi.plans if p.num_levels > 2]
+        states = {op.result_state for op in lvl1}
+        assert len(states) == len(lvl1)

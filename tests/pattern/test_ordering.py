@@ -1,0 +1,89 @@
+"""Tests for the cost-model-driven vertex-order search."""
+
+import pytest
+
+from repro.graph import erdos_renyi, load_dataset
+from repro.mining import count
+from repro.mining.engine import count_embeddings
+from repro.pattern import compile_plan, named_pattern
+from repro.pattern.ordering import (
+    OrderCostModel,
+    compile_plan_searched,
+    estimate_plan_cost,
+    search_vertex_order,
+)
+
+
+class TestCostModel:
+    def test_from_graph(self, small_random):
+        model = OrderCostModel.from_graph(small_random)
+        assert model.num_vertices == 30
+        assert model.avg_degree > 0
+        assert 0 < model.density <= 1
+
+    def test_default(self):
+        model = OrderCostModel.default()
+        assert model.density < 0.01
+
+    def test_cost_positive(self):
+        model = OrderCostModel.default()
+        for name in ["tc", "4cl", "tt", "cyc", "dia"]:
+            plan = compile_plan(named_pattern(name))
+            assert estimate_plan_cost(plan, model) > 0
+
+    def test_denser_graph_costs_more(self):
+        plan = compile_plan(named_pattern("tc"))
+        sparse = OrderCostModel(num_vertices=10_000, avg_degree=4.0)
+        dense = OrderCostModel(num_vertices=10_000, avg_degree=64.0)
+        assert estimate_plan_cost(plan, dense) > estimate_plan_cost(plan, sparse)
+
+
+class TestSearch:
+    @pytest.mark.parametrize("name", ["tc", "4cl", "5cl", "tt", "cyc", "dia"])
+    def test_searched_order_valid(self, name):
+        pattern = named_pattern(name)
+        order = search_vertex_order(pattern)
+        assert sorted(order) == list(range(pattern.num_vertices))
+        # Connectivity-preserving: compile must succeed.
+        compile_plan(pattern, order=order)
+
+    @pytest.mark.parametrize("name", ["tc", "tt", "cyc", "dia"])
+    def test_searched_cost_never_worse_than_greedy(self, name):
+        pattern = named_pattern(name)
+        model = OrderCostModel.default()
+        searched = compile_plan(
+            pattern, order=search_vertex_order(pattern, model=model)
+        )
+        from repro.pattern.compiler import choose_vertex_order
+
+        greedy = compile_plan(pattern, order=choose_vertex_order(pattern))
+        assert (
+            estimate_plan_cost(searched, model)
+            <= estimate_plan_cost(greedy, model) * 1.0001
+        )
+
+    @pytest.mark.parametrize("name", ["tt", "cyc", "dia"])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_any_order_same_counts(self, name, seed):
+        """Orders are performance-only: every valid order counts the same."""
+        g = erdos_renyi(20, 0.35, seed=seed)
+        pattern = named_pattern(name)
+        reference = count(g, name)
+        plan = compile_plan_searched(pattern, graph=g)
+        assert count_embeddings(g, plan) == reference
+
+    def test_single_vertex(self):
+        from repro.pattern import Pattern
+
+        assert search_vertex_order(Pattern(1, [])) == (0,)
+
+    def test_disconnected_rejected(self):
+        from repro.pattern import Pattern
+
+        with pytest.raises(ValueError):
+            search_vertex_order(Pattern(4, [(0, 1), (2, 3)]))
+
+    def test_graph_aware_compile(self):
+        g = load_dataset("As")
+        plan = compile_plan_searched(named_pattern("tt"), graph=g)
+        assert plan.num_levels == 4

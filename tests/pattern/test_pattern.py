@@ -1,0 +1,108 @@
+"""Tests for the Pattern type and named patterns."""
+
+import pytest
+
+from repro.pattern import Pattern, named_pattern, PATTERN_NAMES
+
+
+class TestPatternBasics:
+    def test_triangle(self):
+        p = named_pattern("tc")
+        assert p.num_vertices == 3
+        assert p.num_edges == 3
+        assert p.is_clique()
+        assert p.is_connected()
+
+    def test_edges_listed_once(self):
+        p = named_pattern("4cl")
+        assert len(p.edges()) == 6
+        assert all(a < b for a, b in p.edges())
+
+    def test_neighbors_and_degree(self):
+        tt = named_pattern("tt")
+        assert tt.neighbors(0) == (1, 2, 3)
+        assert tt.degree(0) == 3
+        assert tt.degree(3) == 1
+
+    def test_adjacency_mask(self):
+        p = Pattern(3, [(0, 1)])
+        assert p.adj_mask(0) == 0b010
+        assert p.adj_mask(1) == 0b001
+        assert p.adj_mask(2) == 0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Pattern(3, [(1, 1)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Pattern(3, [(0, 3)])
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            Pattern(0, [])
+
+    def test_connectivity(self):
+        assert Pattern(1, []).is_connected()
+        assert not Pattern(3, [(0, 1)]).is_connected()
+        assert Pattern(3, [(0, 1), (1, 2)]).is_connected()
+
+    def test_equality_hash(self):
+        a = Pattern(3, [(0, 1), (1, 2), (0, 2)])
+        assert a == named_pattern("tc")
+        assert hash(a) == hash(named_pattern("tc"))
+        assert a != Pattern(3, [(0, 1), (1, 2)])
+
+
+class TestRelabel:
+    def test_identity(self):
+        p = named_pattern("tt")
+        assert p.relabel([0, 1, 2, 3]) == p
+
+    def test_structure_preserved(self):
+        p = named_pattern("dia")
+        q = p.relabel([3, 2, 1, 0])
+        assert q.num_edges == p.num_edges
+        assert sorted(q.degree(v) for v in range(4)) == sorted(
+            p.degree(v) for v in range(4)
+        )
+
+    def test_semantics(self):
+        # Order [2, 0, 1] means old vertex 2 becomes position 0.
+        p = Pattern(3, [(0, 1)])
+        q = p.relabel([2, 0, 1])
+        assert q.has_edge(1, 2)
+        assert not q.has_edge(0, 1)
+
+    def test_non_permutation_rejected(self):
+        with pytest.raises(ValueError):
+            named_pattern("tc").relabel([0, 0, 1])
+
+
+class TestNamedPatterns:
+    @pytest.mark.parametrize("name", ["tc", "4cl", "5cl", "tt", "cyc", "dia"])
+    def test_benchmark_patterns_exist(self, name):
+        p = named_pattern(name)
+        assert p.is_connected()
+
+    def test_pattern_names_list(self):
+        assert PATTERN_NAMES == ["tc", "4cl", "5cl", "tt", "cyc", "dia", "3mc"]
+
+    def test_3mc_is_multipattern(self):
+        with pytest.raises(ValueError, match="multi-pattern"):
+            named_pattern("3mc")
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            named_pattern("17cl")
+
+    def test_paper_shapes(self):
+        # tt = triangle plus a degree-1 tail on one triangle vertex.
+        tt = named_pattern("tt")
+        assert sorted(tt.degree(v) for v in range(4)) == [1, 2, 2, 3]
+        # cyc = 4-cycle, all degree 2.
+        cyc = named_pattern("cyc")
+        assert all(cyc.degree(v) == 2 for v in range(4))
+        # dia = K4 minus an edge.
+        dia = named_pattern("dia")
+        assert sorted(dia.degree(v) for v in range(4)) == [2, 2, 3, 3]

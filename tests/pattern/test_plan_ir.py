@@ -1,0 +1,83 @@
+"""Unit tests for the plan IR types themselves."""
+
+import pytest
+
+from repro.pattern import (
+    ExecutionPlan,
+    LevelSchedule,
+    OpKind,
+    Restriction,
+    SetOp,
+    compile_plan,
+    named_pattern,
+)
+
+
+class TestSetOp:
+    def test_str_intersect(self):
+        op = SetOp(
+            kind=OpKind.INTERSECT, operand_level=1, source_state=0,
+            result_state=2, serves=(2, 3),
+        )
+        text = str(op)
+        assert "S#2" in text and "N(u1)" in text and "[2, 3]" in text
+
+    def test_str_init(self):
+        op = SetOp(
+            kind=OpKind.INIT_COPY, operand_level=0, source_state=None,
+            result_state=0, serves=(1,),
+        )
+        assert "copy" in str(op)
+
+    def test_frozen(self):
+        op = SetOp(OpKind.INTERSECT, 1, 0, 2, (2,))
+        with pytest.raises(AttributeError):
+            op.result_state = 5  # type: ignore[misc]
+
+
+class TestLevelSchedule:
+    def test_num_ops(self):
+        plan = compile_plan(named_pattern("tt"))
+        assert plan.levels[1].num_ops == 2
+
+    def test_schedule_accessor(self):
+        plan = compile_plan(named_pattern("tt"))
+        assert plan.schedule(0) is plan.levels[0]
+
+
+class TestRestriction:
+    def test_ordering(self):
+        assert Restriction(0, 1) < Restriction(0, 2) < Restriction(1, 2)
+
+    def test_applies_at(self):
+        assert Restriction(1, 3).applies_at() == 3
+
+    def test_str(self):
+        assert str(Restriction(0, 2)) == "v0 < v2"
+
+
+class TestPlanQueries:
+    def test_num_levels(self):
+        assert compile_plan(named_pattern("5cl")).num_levels == 5
+
+    def test_max_set_parallelism_tt(self):
+        assert compile_plan(named_pattern("tt")).max_set_parallelism() == 2
+
+    def test_cliques_parallelism_one(self):
+        for name in ("tc", "4cl", "5cl"):
+            assert compile_plan(named_pattern(name)).max_set_parallelism() == 1
+
+    def test_exclude_levels_clique_empty(self):
+        # Every clique ancestor is adjacent: no explicit injectivity needed.
+        plan = compile_plan(named_pattern("4cl"))
+        for level in range(1, 4):
+            assert plan.exclude_levels(level) == ()
+
+    def test_lower_bounds_empty_at_level0(self):
+        for name in ("tc", "tt", "cyc", "dia"):
+            assert compile_plan(named_pattern(name)).lower_bound_levels(0) == ()
+
+    def test_describe_lists_all_ops(self):
+        plan = compile_plan(named_pattern("cyc"))
+        text = plan.describe()
+        assert text.count("S#") >= plan.total_ops()

@@ -1,0 +1,75 @@
+"""Tests for plan JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.graph import erdos_renyi
+from repro.mining.engine import count_embeddings
+from repro.pattern import compile_plan, named_pattern
+from repro.pattern.serialize import (
+    dump_plan,
+    load_plan,
+    plan_from_dict,
+    plan_to_dict,
+)
+
+
+ALL_PATTERNS = ["tc", "4cl", "5cl", "tt", "cyc", "dia", "wedge", "house"]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", ALL_PATTERNS)
+    def test_dict_roundtrip_structural(self, name):
+        plan = compile_plan(named_pattern(name))
+        rebuilt = plan_from_dict(plan_to_dict(plan))
+        assert rebuilt.pattern == plan.pattern
+        assert rebuilt.vertex_order == plan.vertex_order
+        assert rebuilt.restrictions == plan.restrictions
+        assert rebuilt.levels == plan.levels
+        assert rebuilt.vertex_induced == plan.vertex_induced
+
+    @pytest.mark.parametrize("name", ["tt", "cyc"])
+    def test_rebuilt_plan_counts_identically(self, name):
+        g = erdos_renyi(25, 0.3, seed=3)
+        plan = compile_plan(named_pattern(name))
+        rebuilt = plan_from_dict(plan_to_dict(plan))
+        assert count_embeddings(g, rebuilt) == count_embeddings(g, plan)
+
+    def test_file_roundtrip(self, tmp_path):
+        plan = compile_plan(named_pattern("tt"))
+        path = tmp_path / "tt.json"
+        dump_plan(plan, path)
+        assert load_plan(path).levels == plan.levels
+
+    def test_json_is_valid_and_stable(self, tmp_path):
+        plan = compile_plan(named_pattern("dia"))
+        path = tmp_path / "dia.json"
+        dump_plan(plan, path)
+        data = json.loads(path.read_text())
+        assert data["format_version"] == 1
+        # Dumping twice produces identical bytes (sorted keys).
+        path2 = tmp_path / "dia2.json"
+        dump_plan(plan, path2)
+        assert path.read_text() == path2.read_text()
+
+    def test_edge_induced_flag_preserved(self):
+        plan = compile_plan(named_pattern("tt"), vertex_induced=False)
+        rebuilt = plan_from_dict(plan_to_dict(plan))
+        assert rebuilt.vertex_induced is False
+
+    def test_unknown_version_rejected(self):
+        plan = compile_plan(named_pattern("tc"))
+        data = plan_to_dict(plan)
+        data["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            plan_from_dict(data)
+
+    def test_simulator_accepts_rebuilt_plan(self):
+        from repro.hw.api import FingersConfig, simulate
+        from repro.mining import count
+
+        g = erdos_renyi(30, 0.3, seed=4)
+        rebuilt = plan_from_dict(plan_to_dict(compile_plan(named_pattern("tc"))))
+        res = simulate(g, rebuilt, FingersConfig(num_pes=1))
+        assert res.count == count(g, "tc")

@@ -1,0 +1,171 @@
+"""Tests for segmentation, head lists, pairing, and load balancing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.setops import (
+    LONG_SEGMENT_LEN,
+    SHORT_SEGMENT_LEN,
+    SegmentPairing,
+    WorkItem,
+    balance_loads,
+    head_list,
+    pair_segments,
+    segment_bounds,
+)
+from repro.setops.segments import pairing_loads
+
+sorted_sets = st.lists(
+    st.integers(min_value=0, max_value=500), max_size=120, unique=True
+).map(sorted)
+
+
+def arr(values):
+    return np.asarray(values, dtype=np.int64)
+
+
+class TestSegmentBounds:
+    def test_exact_multiple(self):
+        assert segment_bounds(8, 4) == [(0, 4), (4, 8)]
+
+    def test_partial_tail(self):
+        assert segment_bounds(9, 4) == [(0, 4), (4, 8), (8, 9)]
+
+    def test_empty(self):
+        assert segment_bounds(0, 4) == []
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            segment_bounds(4, 0)
+
+
+class TestHeadList:
+    def test_heads(self):
+        assert list(head_list(arr(range(10)), 4)) == [0, 4, 8]
+
+    def test_defaults_match_paper(self):
+        assert LONG_SEGMENT_LEN == 16
+        assert SHORT_SEGMENT_LEN == 4
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            head_list(arr([1]), 0)
+
+
+class TestPaperFigure4:
+    """Replays the exact example of paper Figure 4."""
+
+    SHORT = [3, 12, 14, 27, 33, 55, 59, 82]  # paper shows 4 segments of 2
+    # Long segments [2,8], [9,25], ... — the paper says short segment
+    # [3, 12] overlaps exactly the first two.
+    LONG = [2, 8, 9, 25, 26, 40, 42, 48, 50, 58]
+
+    def test_first_short_pairs_with_two_longs(self):
+        pairing = pair_segments(
+            arr(self.SHORT), arr(self.LONG), short_len=2, long_len=2
+        )
+        # Short segment [3, 12] overlaps long segments [2, 8] and [9, 25].
+        assert pairing.spans[0] == (0, 1)
+
+    def test_loads_sum_to_pairs(self):
+        pairing = pair_segments(
+            arr(self.SHORT), arr(self.LONG), short_len=2, long_len=2
+        )
+        assert pairing.total_pairs == sum(
+            e - s + 1 for span in pairing.spans if span for s, e in [span]
+        )
+
+
+class TestPairing:
+    def test_identical_sets(self):
+        a = arr(range(0, 64))
+        pairing = pair_segments(a, a)
+        assert pairing.num_long_segments == 4
+        assert pairing.num_short_segments == 16
+        # Every long segment gets exactly its own 4 short segments.
+        assert list(pairing.loads) == [4, 4, 4, 4]
+
+    def test_disjoint_short_below(self):
+        pairing = pair_segments(arr([1, 2, 3]), arr(range(100, 120)))
+        assert pairing.total_pairs == 0
+        assert pairing.spans[0] is None
+
+    def test_short_above_long_pairs_last(self):
+        pairing = pair_segments(arr([500]), arr(range(0, 32)))
+        assert pairing.spans[0] == (1, 1)
+
+    def test_empty_inputs(self):
+        p = pair_segments(arr([]), arr(range(16)))
+        assert p.total_pairs == 0
+        p = pair_segments(arr([1]), arr([]))
+        assert p.total_pairs == 0
+
+    @given(sorted_sets, sorted_sets)
+    @settings(max_examples=150)
+    def test_every_overlap_covered(self, short, long):
+        """Any (short elem, long elem) equality must fall in a paired span."""
+        if not short or not long:
+            return
+        s, l = arr(short), arr(long)
+        pairing = pair_segments(s, l, short_len=4, long_len=8)
+        common = set(short) & set(long)
+        for value in common:
+            si = int(np.searchsorted(s, value)) // 4
+            li = int(np.searchsorted(l, value)) // 8
+            span = pairing.spans[si]
+            assert span is not None
+            assert span[0] <= li <= span[1]
+
+    @given(sorted_sets, sorted_sets)
+    @settings(max_examples=150)
+    def test_pairing_loads_fast_path_agrees(self, short, long):
+        s, l = arr(short), arr(long)
+        full = pair_segments(s, l, short_len=4, long_len=8)
+        fast = pairing_loads(s, l, short_len=4, long_len=8)
+        if l.size and s.size:
+            assert list(full.loads) == list(fast)
+
+
+class TestBalanceLoads:
+    def _pairing(self, loads):
+        return SegmentPairing(
+            loads=np.asarray(loads, dtype=np.int64),
+            spans=(),
+            num_long_segments=len(loads),
+            num_short_segments=int(sum(loads)),
+        )
+
+    def test_zero_loads_omitted(self):
+        items = balance_loads(self._pairing([0, 2, 0]), max_load=3)
+        assert len(items) == 1
+        assert items[0].long_segment == 1
+
+    def test_zero_loads_kept_for_anti_subtraction(self):
+        items = balance_loads(
+            self._pairing([0, 2, 0]), max_load=3, keep_unpaired=True
+        )
+        assert [it.long_segment for it in items] == [0, 1, 2]
+
+    def test_overload_split(self):
+        items = balance_loads(self._pairing([7]), max_load=3)
+        assert [it.num_short_segments for it in items] == [3, 3, 1]
+
+    def test_paper_figure7_example(self):
+        # Load table [0, 2, 3, 1] with max load 2: the 3 splits into 2+1.
+        items = balance_loads(self._pairing([0, 2, 3, 1]), max_load=2)
+        assert [(it.long_segment, it.num_short_segments) for it in items] == [
+            (1, 2),
+            (2, 2),
+            (2, 1),
+            (3, 1),
+        ]
+
+    def test_cost_formula(self):
+        item = WorkItem(long_segment=0, num_short_segments=3)
+        assert item.cost(16, 4) == 28  # the paper's s_l + 3 s_s example
+
+    def test_invalid_max_load(self):
+        with pytest.raises(ValueError):
+            balance_loads(self._pairing([1]), max_load=0)

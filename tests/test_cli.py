@@ -1,0 +1,123 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_stats_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats"])
+
+    def test_mutually_exclusive_sources(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["stats", "--dataset", "As", "--file", "x.txt"]
+            )
+
+
+class TestCommands:
+    def test_stats_dataset(self, capsys):
+        assert main(["stats", "--dataset", "As"]) == 0
+        out = capsys.readouterr().out
+        assert "vertices" in out and "950" in out
+
+    def test_stats_file(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n2 0\n")
+        assert main(["stats", "--file", str(path)]) == 0
+        assert "3" in capsys.readouterr().out
+
+    def test_plan(self, capsys):
+        assert main(["plan", "tt"]) == 0
+        out = capsys.readouterr().out
+        assert "level 0" in out and "restrictions" in out
+
+    def test_plan_edge_induced(self, capsys):
+        assert main(["plan", "tt", "--edge-induced"]) == 0
+        assert "edge-induced" in capsys.readouterr().out
+
+    def test_count(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n2 0\n0 3\n")
+        assert main(["count", "tc", "--file", str(path)]) == 0
+        assert "1" in capsys.readouterr().out
+
+    def test_count_with_listing(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n2 0\n")
+        assert main(["count", "tc", "--file", str(path), "--list", "5"]) == 0
+        assert "0-1-2" in capsys.readouterr().out
+
+    def test_motifs(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n2 0\n0 3\n")
+        assert main(["motifs", "3", "--file", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "tc" in out and "wedge" in out
+
+    def test_simulate_fingers(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("\n".join(f"{i} {j}" for i in range(12)
+                                  for j in range(i + 1, 12)))
+        assert main([
+            "simulate", "tc", "--file", str(path),
+            "--design", "fingers", "--pes", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "FINGERS" in out and "cycles" in out
+
+    def test_simulate_flexminer_with_trace(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("\n".join(f"{i} {j}" for i in range(10)
+                                  for j in range(i + 1, 10)))
+        assert main([
+            "simulate", "tc", "--file", str(path),
+            "--design", "flexminer", "--pes", "2", "--trace",
+        ]) == 0
+        assert "PE0" in capsys.readouterr().out
+
+    def test_simulate_software(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("\n".join(f"{i} {j}" for i in range(10)
+                                  for j in range(i + 1, 10)))
+        assert main([
+            "simulate", "tc", "--file", str(path),
+            "--design", "software", "--pes", "2",
+        ]) == 0
+        assert "SW-2core" in capsys.readouterr().out
+
+    def test_compare(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("\n".join(f"{i} {j}" for i in range(12)
+                                  for j in range(i + 1, 12)))
+        assert main(["compare", "tc", "--file", str(path), "--pes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_bench_table2(self, capsys):
+        assert main(["bench", "table2"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_bench_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "fig99"])
+
+
+class TestValidateCommand:
+    def test_validate_consistent(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n2 0\n0 3\n")
+        assert main(["validate", "tc", "--file", str(path)]) == 0
+        assert "CONSISTENT" in capsys.readouterr().out
+
+    def test_validate_with_software(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n2 0\n")
+        assert main(["validate", "tc", "--file", str(path), "--software"]) == 0
+        assert "software" in capsys.readouterr().out
