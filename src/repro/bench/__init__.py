@@ -18,7 +18,15 @@ from repro.bench.workloads import (
     roots_for,
     workload_graphs,
 )
-from repro.bench.runner import run_pair, PairResult
+from repro.bench.runner import (
+    PairResult,
+    RunnerStats,
+    configure,
+    run_cached,
+    run_pair,
+    run_software_cached,
+    runner_stats,
+)
 from repro.bench import experiments
 from repro.bench.report import format_table, format_grid, geometric_mean
 
@@ -29,6 +37,11 @@ __all__ = [
     "roots_for",
     "workload_graphs",
     "run_pair",
+    "run_cached",
+    "run_software_cached",
+    "configure",
+    "runner_stats",
+    "RunnerStats",
     "PairResult",
     "experiments",
     "format_table",

@@ -7,6 +7,13 @@ rendered result and optionally writing them to a directory::
     python -m repro.bench                  # print everything
     python -m repro.bench --out results/   # also write one .txt per exp
     python -m repro.bench --only fig9 fig12
+    python -m repro.bench --jobs 8         # shard roots over 8 processes
+    python -m repro.bench --no-cache       # ignore the persistent cache
+
+Results are memoized on disk (``REPRO_CACHE_DIR``, default
+``~/.cache/repro``; see docs/PARALLELISM.md), so a repeated sweep with a
+warm cache performs zero simulator calls — the closing "run cache"
+summary line reports the exact hit/miss/simulate counts.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ import sys
 import time
 
 from repro.bench import ablations, experiments
+from repro.bench import runner as _runner
 from repro.bench.sensitivity import (
     sensitivity_dram_latency,
     sensitivity_hit_latency,
@@ -54,7 +62,20 @@ def main(argv=None) -> int:
         "--only", nargs="+", choices=sorted(ALL_EXPERIMENTS),
         help="run only these experiments",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="shard simulations over N worker processes (sharded model; "
+             "results are identical for every N)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the persistent result cache",
+    )
     args = parser.parse_args(argv)
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    _runner.configure(jobs=args.jobs, disk_cache=not args.no_cache)
+    _runner.reset_stats()
 
     names = args.only or list(ALL_EXPERIMENTS)
     out_dir = pathlib.Path(args.out) if args.out else None
@@ -70,6 +91,14 @@ def main(argv=None) -> int:
         print(text)
         if out_dir:
             (out_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    stats = _runner.runner_stats()
+    from repro.cache import cache_dir
+
+    print(
+        f"\nrun cache: {stats.memo_hits} memo hits, {stats.disk_hits} disk "
+        f"hits, {stats.simulate_calls} simulator calls"
+        + ("" if args.no_cache else f" (disk: {cache_dir()})")
+    )
     return 0
 
 

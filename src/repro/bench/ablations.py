@@ -21,9 +21,10 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.bench.report import format_table
+from repro.bench.runner import run_cached
 from repro.bench.workloads import roots_for
 from repro.graph.datasets import load_dataset
-from repro.hw.api import FingersConfig, simulate
+from repro.hw.api import FingersConfig
 
 __all__ = [
     "ablation_scheduling",
@@ -58,9 +59,9 @@ def ablation_scheduling(
     rows = []
     base = None
     for policy in ("dynamic", "static_interleave", "static_block"):
-        res = simulate(
-            graph, pattern, FingersConfig(num_pes=num_pes),
-            roots=roots, schedule=policy,
+        res = run_cached(
+            graph, graph_name, pattern, FingersConfig(num_pes=num_pes),
+            None, roots, schedule=policy,
         )
         if base is None:
             base = res.cycles
@@ -96,10 +97,10 @@ def ablation_max_load(
     rows = []
     base = None
     for value in values:
-        res = simulate(
-            graph, pattern,
+        res = run_cached(
+            graph, graph_name, pattern,
             FingersConfig(num_pes=1, max_load=value),
-            roots=roots,
+            None, roots,
         )
         if base is None:
             base = res.cycles
@@ -125,10 +126,10 @@ def ablation_dividers(
     rows = []
     base = None
     for value in values:
-        res = simulate(
-            graph, pattern,
+        res = run_cached(
+            graph, graph_name, pattern,
             FingersConfig(num_pes=1, num_dividers=value),
-            roots=roots,
+            None, roots,
         )
         if base is None:
             base = res.cycles
@@ -154,10 +155,10 @@ def ablation_group_size(
     rows = []
     base = None
     for value in values:
-        res = simulate(
-            graph, pattern,
+        res = run_cached(
+            graph, graph_name, pattern,
             FingersConfig(num_pes=1, task_group_size=value),
-            roots=roots,
+            None, roots,
         )
         if base is None:
             base = res.cycles
@@ -205,11 +206,11 @@ def ablation_edge_induced(
             plan = compile_plan(
                 named_pattern(pattern), vertex_induced=vertex_induced
             )
-            fing = simulate(
-                graph, plan, FingersConfig(num_pes=1), roots=roots
+            fing = run_cached(
+                graph, graph_name, plan, FingersConfig(num_pes=1), None, roots
             )
-            flex = simulate(
-                graph, plan, FlexMinerConfig(num_pes=1), roots=roots
+            flex = run_cached(
+                graph, graph_name, plan, FlexMinerConfig(num_pes=1), None, roots
             )
             mode = "vertex" if vertex_induced else "edge"
             data[(pattern, mode)] = (fing, flex)
@@ -243,8 +244,9 @@ def ablation_imbalance(
     rows = []
     base = None
     for num_pes in pe_counts:
-        res = simulate(
-            graph, pattern, FingersConfig(num_pes=num_pes), roots=roots
+        res = run_cached(
+            graph, graph_name, pattern, FingersConfig(num_pes=num_pes),
+            None, roots,
         )
         if base is None:
             base = res.cycles

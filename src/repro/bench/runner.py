@@ -1,15 +1,32 @@
-"""Paired-design experiment runner with an in-process result cache.
+"""Paired-design experiment runner with layered result caching.
 
 Several figures share cells (e.g. Figure 9's single-PE baseline also
-anchors Figure 11's ablation), so runs are memoized on their full
-configuration within one process.
+anchors Figure 11's ablation), and whole sweeps are re-run across
+processes, so simulation results are memoized twice:
+
+1. an **in-process memo** (same object returned for repeated requests
+   within one run), and
+2. the **persistent disk cache** (:mod:`repro.cache`): keyed on the full
+   graph contents, workload, configuration, schedule, root-array hash,
+   and execution model, so a warm ``python -m repro.bench`` sweep
+   performs zero simulator calls.
+
+``configure(jobs=..., disk_cache=...)`` sets process-wide defaults (the
+CLI's ``--jobs`` / ``--no-cache`` flags land here); ``runner_stats()``
+reports hit/miss/simulate counters for the run report.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable
 
+from repro.cache import (
+    default_cache,
+    graph_fingerprint,
+    make_key,
+    roots_fingerprint,
+)
 from repro.graph.csr import CSRGraph
 from repro.hw.api import (
     FingersConfig,
@@ -19,9 +36,63 @@ from repro.hw.api import (
     simulate,
 )
 
-__all__ = ["PairResult", "run_pair", "run_cached", "clear_cache"]
+__all__ = [
+    "PairResult",
+    "RunnerStats",
+    "run_pair",
+    "run_cached",
+    "run_software_cached",
+    "clear_cache",
+    "configure",
+    "reset_stats",
+    "runner_stats",
+]
 
-_CACHE: dict[tuple, SimResult] = {}
+_MEMO: dict[str, object] = {}
+
+_UNSET = object()
+_DEFAULT_JOBS: int | None = None
+_DISK_ENABLED: bool = True
+
+
+@dataclass(frozen=True)
+class RunnerStats:
+    """Cache accounting for one process (see ``python -m repro.bench``)."""
+
+    memo_hits: int = 0
+    disk_hits: int = 0
+    simulate_calls: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.memo_hits + self.disk_hits + self.simulate_calls
+
+
+_STATS = RunnerStats()
+
+
+def runner_stats() -> RunnerStats:
+    """Current counters (immutable snapshot)."""
+    return _STATS
+
+
+def reset_stats() -> None:
+    global _STATS
+    _STATS = RunnerStats()
+
+
+def configure(*, jobs=_UNSET, disk_cache=_UNSET) -> None:
+    """Set process-wide defaults for every subsequent ``run_cached``.
+
+    ``jobs=None`` restores the single-chip model; an integer selects the
+    sharded model on that many worker processes.  ``disk_cache=False``
+    keeps the in-process memo but stops touching the on-disk cache.
+    """
+    global _DEFAULT_JOBS, _DISK_ENABLED
+    if jobs is not _UNSET:
+        _DEFAULT_JOBS = jobs
+    if disk_cache is not _UNSET:
+        _DISK_ENABLED = bool(disk_cache)
 
 
 @dataclass(frozen=True)
@@ -38,8 +109,42 @@ class PairResult:
         return self.ours.speedup_over(self.baseline)
 
 
-def _key(graph_name, workload, config, memory, roots_sig):
-    return (graph_name, str(workload), config, memory, roots_sig)
+def _key(graph, workload, config, memory, roots_list, schedule, jobs) -> str:
+    # The execution model is part of the result's identity: the sharded
+    # model's cycle count differs from the single-chip model's, but does
+    # NOT depend on the worker count (docs/PARALLELISM.md), so the tag
+    # only distinguishes sharded vs. unsharded.
+    model = "single-chip" if jobs is None else "sharded"
+    return make_key(
+        kind="simresult",
+        graph=graph_fingerprint(graph),
+        workload=str(workload),
+        config=config,
+        memory=memory,
+        roots=roots_fingerprint(roots_list),
+        schedule=schedule,
+        model=model,
+    )
+
+
+def _cached(key: str, compute, expected_type: type, use_disk: bool):
+    """Shared memo + disk lookup with stats accounting."""
+    global _STATS
+    if key in _MEMO:
+        _STATS = replace(_STATS, memo_hits=_STATS.memo_hits + 1)
+        return _MEMO[key]
+    if use_disk:
+        hit, value = default_cache().get(key)
+        if hit and isinstance(value, expected_type):
+            _STATS = replace(_STATS, disk_hits=_STATS.disk_hits + 1)
+            _MEMO[key] = value
+            return value
+    _STATS = replace(_STATS, simulate_calls=_STATS.simulate_calls + 1)
+    result = compute()
+    _MEMO[key] = result
+    if use_disk:
+        default_cache().put(key, result)
+    return result
 
 
 def run_cached(
@@ -49,24 +154,72 @@ def run_cached(
     config: FingersConfig | FlexMinerConfig,
     memory: MemoryConfig | None = None,
     roots: Iterable[int] | None = None,
+    *,
+    schedule: str = "dynamic",
+    jobs: int | None = None,
+    disk: bool | None = None,
 ) -> SimResult:
-    """Memoized :func:`repro.hw.api.simulate`."""
+    """Memoized :func:`repro.hw.api.simulate` (memo + disk layers).
+
+    ``graph_name`` is only a label; the cache key uses the graph's full
+    content fingerprint, so renamed or regenerated-but-identical graphs
+    behave correctly.  ``jobs``/``disk`` default to the process-wide
+    settings installed by :func:`configure`.
+    """
     roots_list = list(roots) if roots is not None else None
-    roots_sig = (
-        (len(roots_list), roots_list[0], roots_list[-1])
-        if roots_list
-        else None
+    eff_jobs = jobs if jobs is not None else _DEFAULT_JOBS
+    use_disk = _DISK_ENABLED if disk is None else disk
+    key = _key(graph, workload, config, memory, roots_list, schedule, eff_jobs)
+    return _cached(
+        key,
+        lambda: simulate(
+            graph, workload, config,
+            memory=memory, roots=roots_list, schedule=schedule, jobs=eff_jobs,
+        ),
+        SimResult,
+        use_disk,
     )
-    key = _key(graph_name, workload, config, memory, roots_sig)
-    if key not in _CACHE:
-        _CACHE[key] = simulate(
-            graph, workload, config, memory=memory, roots=roots_list
-        )
-    return _CACHE[key]
+
+
+def run_software_cached(
+    graph: CSRGraph,
+    graph_name: str,
+    workload,
+    config,
+    roots: Iterable[int] | None = None,
+    *,
+    jobs: int | None = None,
+    disk: bool | None = None,
+):
+    """Memoized :func:`repro.sw.simulate_software` — same cache layers,
+    key scheme, and stats accounting as :func:`run_cached`."""
+    from repro.sw import SoftwareResult, simulate_software
+
+    roots_list = list(roots) if roots is not None else None
+    eff_jobs = jobs if jobs is not None else _DEFAULT_JOBS
+    use_disk = _DISK_ENABLED if disk is None else disk
+    key = make_key(
+        kind="swresult",
+        graph=graph_fingerprint(graph),
+        workload=str(workload),
+        config=config,
+        roots=roots_fingerprint(roots_list),
+        model="single-chip" if eff_jobs is None else "sharded",
+    )
+    return _cached(
+        key,
+        lambda: simulate_software(
+            graph, workload, config, roots=roots_list, jobs=eff_jobs
+        ),
+        SoftwareResult,
+        use_disk,
+    )
 
 
 def clear_cache() -> None:
-    _CACHE.clear()
+    """Drop the in-process memo (the disk cache is managed separately via
+    :mod:`repro.cache` / ``python -m repro cache clear``)."""
+    _MEMO.clear()
 
 
 def run_pair(
@@ -78,11 +231,16 @@ def run_pair(
     *,
     memory: MemoryConfig | None = None,
     roots: Iterable[int] | None = None,
+    jobs: int | None = None,
 ) -> PairResult:
     """Run one workload on two designs over identical roots."""
     roots_list = list(roots) if roots is not None else None
-    ours = run_cached(graph, graph_name, workload, config, memory, roots_list)
-    theirs = run_cached(graph, graph_name, workload, baseline, memory, roots_list)
+    ours = run_cached(
+        graph, graph_name, workload, config, memory, roots_list, jobs=jobs
+    )
+    theirs = run_cached(
+        graph, graph_name, workload, baseline, memory, roots_list, jobs=jobs
+    )
     return PairResult(
         workload=workload, graph=graph_name, ours=ours, baseline=theirs
     )

@@ -19,9 +19,10 @@ from dataclasses import dataclass, replace
 from typing import Sequence
 
 from repro.bench.report import format_table
+from repro.bench.runner import run_cached
 from repro.bench.workloads import roots_for
 from repro.graph.datasets import load_dataset
-from repro.hw.api import FingersConfig, FlexMinerConfig, MemoryConfig, simulate
+from repro.hw.api import FingersConfig, FlexMinerConfig, MemoryConfig
 from repro.hw.noc import NoCConfig
 
 __all__ = [
@@ -57,11 +58,11 @@ def _sweep(
     rows = []
     for value in values:
         mem = make_memory(value)
-        fing = simulate(
-            graph, pattern, FingersConfig(num_pes=1), memory=mem, roots=roots
+        fing = run_cached(
+            graph, graph_name, pattern, FingersConfig(num_pes=1), mem, roots
         )
-        flex = simulate(
-            graph, pattern, FlexMinerConfig(num_pes=1), memory=mem, roots=roots
+        flex = run_cached(
+            graph, graph_name, pattern, FlexMinerConfig(num_pes=1), mem, roots
         )
         speedup = fing.speedup_over(flex)
         speedups[value] = speedup

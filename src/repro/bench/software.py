@@ -18,10 +18,11 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.bench.report import format_table
+from repro.bench.runner import run_cached, run_software_cached
 from repro.bench.workloads import roots_for
 from repro.graph.datasets import load_dataset
-from repro.hw.api import FingersConfig, FlexMinerConfig, simulate
-from repro.sw import SoftwareConfig, simulate_software
+from repro.hw.api import FingersConfig, FlexMinerConfig
+from repro.sw import SoftwareConfig
 
 __all__ = ["software_comparison", "software_scaling", "SoftwareBenchResult"]
 
@@ -52,7 +53,7 @@ def software_scaling(
         row = [cores]
         for gran in ("tree", "branch"):
             cfg = SoftwareConfig(num_cores=cores, granularity=gran)
-            res = simulate_software(graph, pattern, cfg, roots=roots)
+            res = run_software_cached(graph, graph_name, pattern, cfg, roots)
             data[(gran, cores)] = res
             if base is None:
                 base = res.cycles
@@ -80,17 +81,17 @@ def software_comparison(
     rows = []
 
     sw_cfg = SoftwareConfig(num_cores=16, granularity="branch")
-    sw = simulate_software(graph, pattern, sw_cfg, roots=roots)
+    sw = run_software_cached(graph, graph_name, pattern, sw_cfg, roots)
     sw_time = sw.cycles / sw_cfg.frequency_ghz
     data["software"] = sw
 
     flex_cfg = FlexMinerConfig(num_pes=40)
-    flex = simulate(graph, pattern, flex_cfg, roots=roots)
+    flex = run_cached(graph, graph_name, pattern, flex_cfg, None, roots)
     flex_time = flex.cycles / flex_cfg.frequency_ghz
     data["flexminer"] = flex
 
     fing_cfg = FingersConfig(num_pes=20)
-    fing = simulate(graph, pattern, fing_cfg, roots=roots)
+    fing = run_cached(graph, graph_name, pattern, fing_cfg, None, roots)
     fing_time = fing.cycles / fing_cfg.frequency_ghz
     data["fingers"] = fing
 

@@ -1,0 +1,239 @@
+"""Persistent, versioned result cache.
+
+Simulation results are deterministic functions of (graph contents,
+workload, design configuration, root set, execution model), so they can
+be memoized on disk across processes: a repeated figure sweep then costs
+file reads instead of hours of event-loop simulation.
+
+Layout and guarantees
+---------------------
+
+* **Location**: ``$REPRO_CACHE_DIR`` if set, else
+  ``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``.  Created lazily.
+* **Keys**: SHA-256 over a canonical rendering of the request parts
+  plus :data:`SCHEMA_VERSION`.  Graphs are fingerprinted by their full
+  CSR byte contents and root sets by their full ``int64`` array hash —
+  *never* by summaries that can collide (see docs/PARALLELISM.md for
+  the exact key schema).
+* **Entries**: one pickle file per key, holding
+  ``{"schema": ..., "key": ..., "value": ...}``.  Written atomically
+  (temp file + ``os.replace``) so concurrent writers and crashes never
+  publish a torn entry.
+* **Invalidation**: bumping :data:`SCHEMA_VERSION` (done whenever a
+  timing model changes observable results) orphans every old entry;
+  corrupted, truncated, unreadable, or mismatched entries are treated
+  as misses, deleted best-effort, and recomputed — never raised.
+
+``python -m repro cache {info,clear,path}`` inspects and clears the
+cache from the shell.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CacheCounters",
+    "DiskCache",
+    "cache_dir",
+    "default_cache",
+    "disk_memoize",
+    "graph_fingerprint",
+    "make_key",
+    "roots_fingerprint",
+]
+
+#: Bump whenever any simulator/engine change alters results for the same
+#: inputs; every existing cache entry then misses and is recomputed.
+SCHEMA_VERSION = 1
+
+_ENTRY_SUFFIX = ".pkl"
+
+
+def cache_dir() -> Path:
+    """Resolve the cache directory (without creating it)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def graph_fingerprint(graph: CSRGraph) -> str:
+    """Content hash of a graph's full CSR arrays."""
+    h = hashlib.sha256()
+    h.update(graph.indptr.tobytes())
+    h.update(b"|")
+    h.update(graph.indices.tobytes())
+    return h.hexdigest()
+
+
+def roots_fingerprint(roots: Iterable[int] | None) -> str:
+    """Hash of the *entire* root array (``"all"`` for the full-graph
+    default).
+
+    Summaries like ``(len, first, last)`` collide between different root
+    sets and silently return the wrong memoized result; hashing the full
+    array cannot.
+    """
+    if roots is None:
+        return "all"
+    arr = np.asarray(list(roots), dtype=np.int64)
+    h = hashlib.sha256(arr.tobytes())
+    return f"{arr.size}:{h.hexdigest()}"
+
+
+def make_key(**parts: Any) -> str:
+    """Canonical cache key: SHA-256 over sorted ``repr``-rendered parts.
+
+    Every value must render deterministically (strings, numbers, and
+    dataclass ``repr``s do).  The schema version is always mixed in.
+    """
+    canon = [f"schema={SCHEMA_VERSION}"]
+    for name in sorted(parts):
+        canon.append(f"{name}={parts[name]!r}")
+    return hashlib.sha256("\x1f".join(canon).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheCounters:
+    """Hit/miss accounting for one :class:`DiskCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0
+
+
+class DiskCache:
+    """A directory of atomically-written pickle entries."""
+
+    def __init__(self, directory: Path | str | None = None) -> None:
+        self.directory = Path(directory) if directory else cache_dir()
+        self.counters = CacheCounters()
+
+    # ------------------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}{_ENTRY_SUFFIX}"
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        """``(hit, value)``; corrupt or mismatched entries count as
+        misses and are removed best-effort."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                entry = pickle.load(fh)
+            if (
+                isinstance(entry, dict)
+                and entry.get("schema") == SCHEMA_VERSION
+                and entry.get("key") == key
+            ):
+                self.counters.hits += 1
+                return True, entry["value"]
+            # Stale schema or foreign entry under our name: drop it.
+            self.counters.errors += 1
+            path.unlink(missing_ok=True)
+        except FileNotFoundError:
+            pass
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError):
+            self.counters.errors += 1
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+        self.counters.misses += 1
+        return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        """Atomically publish ``value`` under ``key``; I/O failures are
+        swallowed (the cache is an accelerator, never a correctness
+        dependency)."""
+        entry = {"schema": SCHEMA_VERSION, "key": key, "value": value}
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=self.directory, prefix=".tmp-", suffix=_ENTRY_SUFFIX
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                os.unlink(tmp)
+                raise
+            self.counters.stores += 1
+        except OSError:
+            self.counters.errors += 1
+
+    # ------------------------------------------------------------------
+
+    def entries(self) -> list[Path]:
+        """Entry files currently on disk (excluding in-flight temps)."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(
+            p
+            for p in self.directory.glob(f"*{_ENTRY_SUFFIX}")
+            if not p.name.startswith(".tmp-")
+        )
+
+    def size_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for p in self.entries():
+            try:
+                p.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+# ----------------------------------------------------------------------
+
+_DEFAULT: DiskCache | None = None
+
+
+def default_cache() -> DiskCache:
+    """Process-wide cache bound to the *currently resolved* directory.
+
+    Re-resolves ``REPRO_CACHE_DIR`` on every call so tests (and callers
+    that retarget the environment variable) always hit the directory
+    they configured; counters persist as long as the directory does not
+    change.
+    """
+    global _DEFAULT
+    resolved = cache_dir()
+    if _DEFAULT is None or _DEFAULT.directory != resolved:
+        _DEFAULT = DiskCache(resolved)
+    return _DEFAULT
+
+
+def disk_memoize(key: str, compute: Callable[[], Any], *, enabled: bool = True) -> Any:
+    """``compute()`` memoized on the default disk cache."""
+    if not enabled:
+        return compute()
+    cache = default_cache()
+    hit, value = cache.get(key)
+    if hit:
+        return value
+    value = compute()
+    cache.put(key, value)
+    return value

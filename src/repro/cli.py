@@ -11,14 +11,21 @@ Subcommands
 ``compare``    Both accelerator designs on one job, with the speedup.
 ``bench``      Run one named experiment (table1 ... fig13, table3,
                ablation-*) and print the paper-shaped output.
+``cache``      Inspect or clear the persistent result cache.
+
+``count``, ``simulate``, ``compare``, and ``bench`` accept ``--jobs N``
+(shard search-tree roots over N worker processes; results are identical
+for every N — see docs/PARALLELISM.md) and ``--no-cache`` (bypass the
+persistent result cache in ``REPRO_CACHE_DIR``/``~/.cache/repro``).
 
 Examples::
 
     python -m repro stats --dataset Mi
-    python -m repro count tc --dataset Mi
+    python -m repro count tc --dataset Mi --jobs 8
     python -m repro plan tt
-    python -m repro compare cyc --dataset As --pes 1
+    python -m repro compare cyc --dataset As --pes 1 --jobs 4
     python -m repro bench table2
+    python -m repro cache info
 """
 
 from __future__ import annotations
@@ -48,6 +55,32 @@ def _load_graph(args: argparse.Namespace):
     return load_edge_list(args.file)
 
 
+def _graph_label(args: argparse.Namespace) -> str:
+    return args.dataset if args.dataset else args.file
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid integer: {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=None, metavar="N",
+        help="shard roots over N worker processes (results identical "
+             "for every N; see docs/PARALLELISM.md)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent result cache",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -74,6 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", type=int, metavar="N", default=None,
         help="also print the first N embeddings",
     )
+    _add_parallel_args(p)
 
     p = sub.add_parser("motifs", help="k-motif census")
     p.add_argument("k", type=int, choices=[2, 3, 4, 5])
@@ -95,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="dynamic",
     )
     p.add_argument("--trace", action="store_true", help="print a text Gantt")
+    _add_parallel_args(p)
 
     p = sub.add_parser("validate", help="cross-check all executors")
     p.add_argument("pattern")
@@ -107,6 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_graph_args(p)
     p.add_argument("--pes", type=int, default=1, help="FINGERS PEs (baseline x2)")
     p.add_argument("--root-stride", type=int, default=1)
+    _add_parallel_args(p)
 
     p = sub.add_parser("bench", help="run one named experiment")
     p.add_argument(
@@ -118,6 +154,15 @@ def build_parser() -> argparse.ArgumentParser:
             "software-scaling", "software-comparison",
             "sensitivity-dram", "sensitivity-hit", "sensitivity-noc",
         ],
+    )
+    _add_parallel_args(p)
+
+    p = sub.add_parser(
+        "cache", help="inspect or clear the persistent result cache"
+    )
+    p.add_argument(
+        "action", choices=["info", "clear", "path"],
+        help="info: entries and size; clear: delete entries; path: print dir",
     )
     return parser
 
@@ -142,15 +187,26 @@ def _cmd_plan(args) -> int:
 
 
 def _cmd_count(args) -> int:
+    from repro.cache import disk_memoize, graph_fingerprint, make_key
     from repro.mining.api import count, embeddings
 
     graph = _load_graph(args)
     vi = not args.edge_induced
-    total = count(graph, args.pattern, vertex_induced=vi)
+    key = make_key(
+        kind="count",
+        graph=graph_fingerprint(graph),
+        pattern=args.pattern,
+        vertex_induced=vi,
+    )
+    total = disk_memoize(
+        key,
+        lambda: count(graph, args.pattern, vertex_induced=vi, jobs=args.jobs),
+        enabled=not args.no_cache,
+    )
     print(f"{args.pattern}: {total:,}")
     if args.list:
         for emb in embeddings(graph, args.pattern, vertex_induced=vi,
-                              limit=args.list):
+                              limit=args.list, jobs=args.jobs):
             print("  " + "-".join(str(v) for v in emb))
     return 0
 
@@ -168,10 +224,14 @@ def _cmd_simulate(args) -> int:
     graph = _load_graph(args)
     roots = list(range(0, graph.num_vertices, args.root_stride))
     if args.design == "software":
-        from repro.sw import SoftwareConfig, simulate_software
+        from repro.bench.runner import run_software_cached
+        from repro.sw import SoftwareConfig
 
         cfg = SoftwareConfig(num_cores=args.pes or 8)
-        res = simulate_software(graph, args.pattern, cfg, roots=roots)
+        res = run_software_cached(
+            graph, _graph_label(args), args.pattern, cfg, roots,
+            jobs=args.jobs, disk=not args.no_cache,
+        )
         print(f"design:  {res.design}")
         print(f"count:   {res.count:,}")
         print(f"cycles:  {res.cycles:,.0f}")
@@ -179,6 +239,7 @@ def _cmd_simulate(args) -> int:
         print(f"imbalance: {res.load_imbalance:.2f}")
         return 0
 
+    from repro.bench.runner import run_cached
     from repro.hw.api import FingersConfig, FlexMinerConfig, simulate
     from repro.hw.trace import Tracer, render_gantt
 
@@ -190,17 +251,32 @@ def _cmd_simulate(args) -> int:
         )
     else:
         config = FlexMinerConfig(num_pes=args.pes or 40)
-    tracer = Tracer() if args.trace else None
-    res = simulate(
-        graph, args.pattern, config,
-        roots=roots, schedule=args.schedule, tracer=tracer,
-    )
+    if args.trace:
+        # Tracing records the actual event interleaving: unsharded,
+        # uncached by design.
+        if args.jobs is not None:
+            print("error: --trace and --jobs are mutually exclusive",
+                  file=sys.stderr)
+            return 2
+        tracer = Tracer()
+        res = simulate(
+            graph, args.pattern, config,
+            roots=roots, schedule=args.schedule, tracer=tracer,
+        )
+    else:
+        tracer = None
+        res = run_cached(
+            graph, _graph_label(args), args.pattern, config, None, roots,
+            schedule=args.schedule, jobs=args.jobs, disk=not args.no_cache,
+        )
     print(f"design:  {res.chip.design} ({res.chip.num_pes} PEs)")
     print(f"count:   {res.count:,}")
     print(f"cycles:  {res.cycles:,.0f}")
     print(f"tasks:   {res.chip.combined.tasks:,}")
     print(f"imbalance: {res.chip.load_imbalance:.2f}")
     print(f"shared-cache miss rate: {100 * res.chip.shared_cache.miss_rate:.1f}%")
+    if res.chip.num_shards > 1:
+        print(f"shards:  {res.chip.num_shards} (sharded model)")
     if tracer is not None:
         print(render_gantt(tracer))
     return 0
@@ -217,15 +293,19 @@ def _cmd_validate(args) -> int:
 
 
 def _cmd_compare(args) -> int:
-    from repro.hw.api import FingersConfig, FlexMinerConfig, simulate
+    from repro.bench.runner import run_cached
+    from repro.hw.api import FingersConfig, FlexMinerConfig
 
     graph = _load_graph(args)
+    label = _graph_label(args)
     roots = list(range(0, graph.num_vertices, args.root_stride))
-    fingers = simulate(
-        graph, args.pattern, FingersConfig(num_pes=args.pes), roots=roots
+    fingers = run_cached(
+        graph, label, args.pattern, FingersConfig(num_pes=args.pes),
+        None, roots, jobs=args.jobs, disk=not args.no_cache,
     )
-    flex = simulate(
-        graph, args.pattern, FlexMinerConfig(num_pes=2 * args.pes), roots=roots
+    flex = run_cached(
+        graph, label, args.pattern, FlexMinerConfig(num_pes=2 * args.pes),
+        None, roots, jobs=args.jobs, disk=not args.no_cache,
     )
     print(f"count: {fingers.count:,}")
     print(f"FINGERS   ({args.pes:3d} PEs): {fingers.cycles:14,.0f} cycles")
@@ -234,8 +314,32 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    from repro.cache import SCHEMA_VERSION, default_cache
+
+    cache = default_cache()
+    if args.action == "path":
+        print(cache.directory)
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"from {cache.directory}")
+        return 0
+    entries = cache.entries()
+    print(f"directory: {cache.directory}")
+    print(f"schema:    v{SCHEMA_VERSION}")
+    print(f"entries:   {len(entries)}")
+    print(f"bytes:     {cache.size_bytes():,}")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from repro.bench import ablations, experiments
+    from repro.bench import runner as _runner
+
+    _runner.configure(jobs=args.jobs, disk_cache=not args.no_cache)
+    _runner.reset_stats()
 
     runners = {
         "table1": experiments.table1,
@@ -267,6 +371,11 @@ def _cmd_bench(args) -> int:
         "sensitivity-noc": sensitivity_noc_bandwidth,
     })
     print(runners[args.experiment]().render())
+    stats = _runner.runner_stats()
+    print(
+        f"run cache: {stats.memo_hits} memo hits, {stats.disk_hits} disk "
+        f"hits, {stats.simulate_calls} simulator calls"
+    )
     return 0
 
 
@@ -279,6 +388,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "compare": _cmd_compare,
     "bench": _cmd_bench,
+    "cache": _cmd_cache,
 }
 
 

@@ -100,6 +100,8 @@ def simulate(
     roots: Iterable[int] | None = None,
     schedule: str = "dynamic",
     tracer=None,
+    jobs: int | None = None,
+    shards: int | None = None,
 ) -> SimResult:
     """Simulate one mining job on one chip configuration.
 
@@ -107,15 +109,39 @@ def simulate(
     :func:`repro.hw.chip.run_chip`); the default is the paper's dynamic
     policy.
 
+    ``jobs``/``shards`` select the **sharded (multi-chip) model** (see
+    docs/PARALLELISM.md): the root set is cut into ``shards`` chunks (a
+    pure function of graph and roots; default policy when ``None``),
+    each shard runs on its own cold chip on up to ``jobs`` host worker
+    processes, and results merge exactly — counts and traffic counters
+    sum, ``cycles`` is the slowest shard's makespan.  Any ``jobs`` value
+    produces bit-for-bit identical results; ``jobs=None`` (default)
+    keeps the plain single-chip model.
+
     >>> from repro.graph import load_dataset
     >>> r = simulate(load_dataset("As"), "tc", FingersConfig(num_pes=1))
     >>> r.count > 0
     True
     """
     name, plans, names = resolve_workload(workload)
-    chip = run_chip(
+    if jobs is None and shards is None:
+        chip = run_chip(
+            graph, plans, config, memory,
+            roots=roots, schedule=schedule, tracer=tracer,
+        )
+        return SimResult(workload=name, chip=chip, pattern_names=names)
+    if tracer is not None:
+        raise ValueError(
+            "tracing is only supported for unsharded runs (jobs/shards unset)"
+        )
+    if jobs is not None and jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    from repro.parallel.hardware import sharded_run_chip
+
+    chip = sharded_run_chip(
         graph, plans, config, memory,
-        roots=roots, schedule=schedule, tracer=tracer,
+        roots=roots, schedule=schedule,
+        jobs=jobs or 1, num_shards=shards,
     )
     return SimResult(workload=name, chip=chip, pattern_names=names)
 
@@ -128,12 +154,15 @@ def speedup_grid(
     *,
     memory: MemoryConfig | None = None,
     roots_for: dict[str, Iterable[int]] | None = None,
+    jobs: int | None = None,
 ) -> dict[tuple[str, str], float]:
     """Speedups of ``config`` over ``baseline`` for every (pattern, graph).
 
     This is the shape of the paper's Figures 9 and 10: a
     ``{(workload, graph): speedup}`` mapping, computed with identical
-    roots for both designs.
+    roots for both designs.  ``jobs`` runs both designs under the
+    sharded model on that many worker processes (identical shards on
+    both sides, so ratios stay apples-to-apples).
     """
     out: dict[tuple[str, str], float] = {}
     for workload in workloads:
@@ -141,7 +170,12 @@ def speedup_grid(
             roots = None
             if roots_for and gname in roots_for:
                 roots = list(roots_for[gname])
-            ours = simulate(graph, workload, config, memory=memory, roots=roots)
-            theirs = simulate(graph, workload, baseline, memory=memory, roots=roots)
+            ours = simulate(
+                graph, workload, config, memory=memory, roots=roots, jobs=jobs
+            )
+            theirs = simulate(
+                graph, workload, baseline, memory=memory, roots=roots,
+                jobs=jobs,
+            )
             out[(ours.workload, gname)] = ours.speedup_over(theirs)
     return out

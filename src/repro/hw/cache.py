@@ -18,7 +18,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
-__all__ = ["CacheStats", "SectoredLRUCache"]
+__all__ = ["CacheStats", "SectoredLRUCache", "merge_cache_stats"]
 
 
 @dataclass
@@ -39,6 +39,20 @@ class CacheStats:
     @property
     def miss_rate(self) -> float:
         return self.misses / self.accesses if self.accesses else 0.0
+
+
+def merge_cache_stats(stats: "list[CacheStats] | tuple[CacheStats, ...]") -> CacheStats:
+    """Sum counters across cache instances (exact: every counter is a
+    plain event count, so disjoint simulations merge by addition)."""
+    out = CacheStats()
+    for s in stats:
+        out.accesses += s.accesses
+        out.misses += s.misses
+        out.insertions += s.insertions
+        out.evictions += s.evictions
+        out.bytes_inserted += s.bytes_inserted
+        out.bytes_evicted += s.bytes_evicted
+    return out
 
 
 class SectoredLRUCache:

@@ -16,16 +16,16 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.graph.csr import CSRGraph
-from repro.hw.cache import CacheStats, SectoredLRUCache
+from repro.hw.cache import CacheStats, SectoredLRUCache, merge_cache_stats
 from repro.hw.config import FingersConfig, FlexMinerConfig, MemoryConfig
 from repro.hw.flexminer import FlexMinerPE
-from repro.hw.memory import DRAMModel, DRAMStats
-from repro.hw.noc import NoCModel, NoCStats
+from repro.hw.memory import DRAMModel, DRAMStats, merge_dram_stats
+from repro.hw.noc import NoCModel, NoCStats, merge_noc_stats
 from repro.hw.pe import BasePE, FingersPE
 from repro.hw.stats import PEStats, merge_pe_stats
 from repro.pattern.plan import ExecutionPlan
 
-__all__ = ["ChipResult", "run_chip"]
+__all__ = ["ChipResult", "run_chip", "merge_chip_results"]
 
 
 @dataclass(frozen=True)
@@ -44,6 +44,12 @@ class ChipResult:
     num_ius: int
     task_group_size: int
     pe_finish_times: tuple[float, ...]
+    #: How many disjoint root shards (cold chip instances) this result
+    #: aggregates.  1 for a plain single-chip run; under the sharded
+    #: model (``jobs=`` in :func:`repro.hw.api.simulate`),
+    #: ``len(pe_stats) == num_pes * num_shards`` and ``cycles`` is the
+    #: makespan of the slowest shard.  See docs/PARALLELISM.md.
+    num_shards: int = 1
 
     @property
     def count(self) -> int:
@@ -58,6 +64,56 @@ class ChipResult:
             return 1.0
         mean = sum(busy) / len(busy)
         return self.cycles / mean if mean > 0 else 1.0
+
+
+def merge_chip_results(results: Sequence[ChipResult]) -> ChipResult:
+    """Combine per-shard chip results with exact semantics.
+
+    Each input must come from the *same* design configuration run over a
+    disjoint root shard on a cold chip.  Counts and every traffic/stat
+    counter merge by addition; per-PE records are concatenated (PE ``i``
+    of shard ``s`` is a distinct physical PE in the multi-chip reading);
+    ``cycles`` is the makespan of the slowest shard.  Merging is
+    associative, order-normalized by the caller passing shards in root
+    order, and introduces no floating-point re-association: every output
+    float is either a sum or a max of input floats.
+    """
+    if not results:
+        raise ValueError("cannot merge zero chip results")
+    first = results[0]
+    for r in results[1:]:
+        if (
+            r.design != first.design
+            or r.num_pes != first.num_pes
+            or r.num_ius != first.num_ius
+            or r.task_group_size != first.task_group_size
+            or len(r.counts) != len(first.counts)
+        ):
+            raise ValueError("refusing to merge results of different designs")
+    if len(results) == 1:
+        return first
+    counts = [0] * len(first.counts)
+    for r in results:
+        for i, c in enumerate(r.counts):
+            counts[i] += c
+    all_pe_stats = [s for r in results for s in r.pe_stats]
+    return ChipResult(
+        design=first.design,
+        cycles=max(r.cycles for r in results),
+        counts=tuple(counts),
+        pe_stats=tuple(all_pe_stats),
+        combined=merge_pe_stats(all_pe_stats),
+        shared_cache=merge_cache_stats([r.shared_cache for r in results]),
+        dram=merge_dram_stats([r.dram for r in results]),
+        noc=merge_noc_stats([r.noc for r in results]),
+        num_pes=first.num_pes,
+        num_ius=first.num_ius,
+        task_group_size=first.task_group_size,
+        pe_finish_times=tuple(
+            t for r in results for t in r.pe_finish_times
+        ),
+        num_shards=sum(r.num_shards for r in results),
+    )
 
 
 def _make_pes(

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.hw.config import MemoryConfig
 
-__all__ = ["DRAMModel", "DRAMStats"]
+__all__ = ["DRAMModel", "DRAMStats", "merge_dram_stats"]
 
 
 @dataclass
@@ -29,6 +29,17 @@ class DRAMStats:
     @property
     def avg_queue_delay(self) -> float:
         return self.total_queue_delay / self.requests if self.requests else 0.0
+
+
+def merge_dram_stats(stats: "list[DRAMStats] | tuple[DRAMStats, ...]") -> DRAMStats:
+    """Sum traffic counters across independent channels/simulations."""
+    out = DRAMStats()
+    for s in stats:
+        out.requests += s.requests
+        out.bytes_transferred += s.bytes_transferred
+        out.busy_cycles += s.busy_cycles
+        out.total_queue_delay += s.total_queue_delay
+    return out
 
 
 class DRAMModel:

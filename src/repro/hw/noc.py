@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["NoCConfig", "NoCModel", "NoCStats"]
+__all__ = ["NoCConfig", "NoCModel", "NoCStats", "merge_noc_stats"]
 
 
 @dataclass(frozen=True)
@@ -50,6 +50,16 @@ class NoCStats:
     @property
     def avg_queue_delay(self) -> float:
         return self.total_queue_delay / self.transfers if self.transfers else 0.0
+
+
+def merge_noc_stats(stats: "list[NoCStats] | tuple[NoCStats, ...]") -> NoCStats:
+    """Sum traffic counters across independent interconnect instances."""
+    out = NoCStats()
+    for s in stats:
+        out.transfers += s.transfers
+        out.bytes_transferred += s.bytes_transferred
+        out.total_queue_delay += s.total_queue_delay
+    return out
 
 
 class NoCModel:

@@ -40,15 +40,20 @@ def count(
     *,
     vertex_induced: bool = True,
     roots: Iterable[int] | None = None,
+    jobs: int | None = None,
 ) -> int:
     """Count instances of ``pattern`` in ``graph``.
+
+    ``jobs`` shards the search-tree roots across that many host worker
+    processes (see docs/PARALLELISM.md); the count is identical for
+    every value.
 
     >>> from repro.graph import complete_graph
     >>> count(complete_graph(5), "tc")
     10
     """
     plan = plan_for(pattern, vertex_induced=vertex_induced)
-    return engine.count_embeddings(graph, plan, roots=roots)
+    return engine.count_embeddings(graph, plan, roots=roots, jobs=jobs)
 
 
 def embeddings(
@@ -57,10 +62,15 @@ def embeddings(
     *,
     vertex_induced: bool = True,
     limit: int | None = None,
+    jobs: int | None = None,
 ) -> list[tuple[int, ...]]:
-    """List embeddings of ``pattern`` (one representative per class)."""
+    """List embeddings of ``pattern`` (one representative per class).
+
+    ``jobs`` parallelizes over root shards; the merged list equals the
+    serial one exactly (order included).
+    """
     plan = plan_for(pattern, vertex_induced=vertex_induced)
-    return engine.list_embeddings(graph, plan, limit=limit)
+    return engine.list_embeddings(graph, plan, limit=limit, jobs=jobs)
 
 
 def motif_census(
@@ -69,11 +79,13 @@ def motif_census(
     *,
     vertex_induced: bool = True,
     roots: Iterable[int] | None = None,
+    jobs: int | None = None,
 ) -> dict[str, int]:
     """Counts of every connected ``k``-vertex motif (the paper's k-motif job).
 
     For ``k = 3`` this is the ``3mc`` benchmark: triangles plus wedges.
+    ``jobs`` is forwarded to every per-pattern count.
     """
     patterns, names = motif_patterns(k)
     multi = compile_multi_plan(patterns, names=names, vertex_induced=vertex_induced)
-    return engine.count_multi(graph, multi, roots=roots)
+    return engine.count_multi(graph, multi, roots=roots, jobs=jobs)

@@ -64,6 +64,7 @@ def count_embeddings(
     plan: ExecutionPlan,
     *,
     roots: Iterable[int] | None = None,
+    jobs: int | None = None,
 ) -> int:
     """Number of embeddings of the plan's pattern in ``graph``.
 
@@ -73,9 +74,13 @@ def count_embeddings(
 
     ``roots`` limits the search to trees rooted at the given level-0
     vertices (used for sampled simulation); default is every vertex.
+
+    ``jobs`` shards the roots across that many worker processes
+    (``repro.parallel``); the total is identical for every value since
+    per-root counts merge by addition.
     """
     total = 0
-    for root, sub in per_root_counts(graph, plan, roots=roots):
+    for root, sub in per_root_counts(graph, plan, roots=roots, jobs=jobs):
         total += sub
     return total
 
@@ -85,9 +90,19 @@ def per_root_counts(
     plan: ExecutionPlan,
     *,
     roots: Iterable[int] | None = None,
+    jobs: int | None = None,
 ) -> Iterator[tuple[int, int]]:
     """Yield ``(root, count)`` per search tree — the unit of coarse-grained
-    parallelism the accelerators schedule across PEs."""
+    parallelism the accelerators schedule across PEs.
+
+    With ``jobs`` the pairs are computed on worker processes but yielded
+    in the same serial root order (contiguous chunks, concatenated).
+    """
+    if jobs is not None and jobs > 1:
+        from repro.parallel.mining import per_root_counts_parallel
+
+        yield from per_root_counts_parallel(graph, plan, roots, jobs)
+        return
     k = plan.num_levels
     if k == 1:
         for root in _iter_roots(graph, roots):
@@ -131,12 +146,21 @@ def list_embeddings(
     *,
     roots: Iterable[int] | None = None,
     limit: int | None = None,
+    jobs: int | None = None,
 ) -> list[tuple[int, ...]]:
     """All embeddings as level-ordered vertex tuples (one per class).
 
     ``limit`` truncates the enumeration once that many embeddings were
     produced (useful on dense graphs).
+
+    ``jobs`` shards the roots across worker processes; chunks are
+    contiguous in root order, so the merged list (and ``limit``
+    truncation applied after the merge) equals the serial list exactly.
     """
+    if jobs is not None and jobs > 1:
+        from repro.parallel.mining import list_embeddings_parallel
+
+        return list_embeddings_parallel(graph, plan, roots, limit, jobs)
     k = plan.num_levels
     out: list[tuple[int, ...]] = []
     if k == 1:
@@ -188,13 +212,16 @@ def count_multi(
     multi: MultiPlan,
     *,
     roots: Iterable[int] | None = None,
+    jobs: int | None = None,
 ) -> dict[str, int]:
     """Counts for every pattern of a multi-pattern plan in one pass.
 
     Processes each root once; plans share the root's level-0 states via
     the unified state namespace (the merged trunk of paper section 4).
+    ``jobs`` is forwarded to each per-plan count.
     """
+    root_list = list(roots) if roots is not None else None
     totals = {name: 0 for name in multi.names}
     for name, plan in zip(multi.names, multi.plans):
-        totals[name] += count_embeddings(graph, plan, roots=roots)
+        totals[name] += count_embeddings(graph, plan, roots=root_list, jobs=jobs)
     return totals

@@ -1,0 +1,50 @@
+"""Host-parallel execution layer: root sharding across worker processes.
+
+The paper exploits parallelism at every on-chip granularity; this
+package adds the granularity *above* the simulated chip — sharding
+search-tree roots across host processes — so sweeps run as fast as the
+host hardware allows.  The determinism and merge contract is documented
+in ``docs/PARALLELISM.md``; the short version:
+
+* reference-engine results are merged associatively, so any ``jobs``
+  value reproduces the serial counts and embedding lists exactly;
+* the simulators run the *sharded (multi-chip) model*: a decomposition
+  that depends only on the graph and root set, one cold chip per shard,
+  exact counter merges, makespan = max over shards — bit-for-bit
+  identical for every ``jobs`` value.
+"""
+
+from repro.parallel.chunking import (
+    CHUNKS_PER_JOB,
+    DEFAULT_SHARDS,
+    default_num_shards,
+    engine_num_chunks,
+    shard_roots,
+)
+from repro.parallel.hardware import (
+    resolve_shards,
+    sharded_run_chip,
+    sharded_software_run,
+)
+from repro.parallel.mining import (
+    count_embeddings_parallel,
+    list_embeddings_parallel,
+    per_root_counts_parallel,
+)
+from repro.parallel.pool import pool_unavailable_reason, run_shards
+
+__all__ = [
+    "CHUNKS_PER_JOB",
+    "DEFAULT_SHARDS",
+    "default_num_shards",
+    "engine_num_chunks",
+    "shard_roots",
+    "resolve_shards",
+    "sharded_run_chip",
+    "sharded_software_run",
+    "count_embeddings_parallel",
+    "list_embeddings_parallel",
+    "per_root_counts_parallel",
+    "pool_unavailable_reason",
+    "run_shards",
+]

@@ -1,0 +1,131 @@
+"""Host-parallel drivers for the chip and software simulators.
+
+Unlike the reference engine, a timing simulation is *not* associative
+over roots: PEs couple through the shared cache's LRU state, the DRAM
+channel, and the NoC, so replaying the single-chip event loop in
+parallel would require a full parallel-discrete-event simulation.
+Instead, ``jobs=`` selects the **sharded (multi-chip) model**: the root
+set is cut into shards (a pure function of the graph and roots — never
+of the worker count), every shard is simulated on its own cold chip
+instance, and the shard results are merged with exact semantics
+(counts and traffic counters sum; makespan is the max over shards).
+
+Because each shard simulation is deterministic and the decomposition is
+jobs-independent, ``jobs=1`` and ``jobs=N`` produce bit-for-bit
+identical merged results; the worker count only changes the wall clock.
+See ``docs/PARALLELISM.md`` for the full contract and for how the
+sharded model relates to the default single-chip model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.graph.csr import CSRGraph
+from repro.hw.chip import ChipResult, merge_chip_results, run_chip
+from repro.hw.config import FingersConfig, FlexMinerConfig, MemoryConfig
+from repro.parallel.chunking import default_num_shards, shard_roots
+from repro.parallel.pool import run_shards
+from repro.pattern.plan import ExecutionPlan
+
+__all__ = ["sharded_run_chip", "sharded_software_run", "resolve_shards"]
+
+
+def resolve_shards(
+    graph: CSRGraph,
+    roots: Iterable[int] | None,
+    num_shards: int | None,
+) -> list[list[int]]:
+    """The shard decomposition the sharded model will use.
+
+    Exposed so callers (e.g. the result cache) can key on the effective
+    shard count without running anything.
+    """
+    root_list = (
+        list(range(graph.num_vertices)) if roots is None else list(roots)
+    )
+    if num_shards is None:
+        num_shards = default_num_shards(len(root_list))
+    return shard_roots(graph, root_list, num_shards)
+
+
+def _chip_worker(payload, shard):
+    return run_chip(
+        payload["graph"],
+        payload["plans"],
+        payload["config"],
+        payload["memcfg"],
+        roots=shard,
+        schedule=payload["schedule"],
+    )
+
+
+def sharded_run_chip(
+    graph: CSRGraph,
+    plans: Sequence[ExecutionPlan],
+    config: FingersConfig | FlexMinerConfig,
+    memcfg: MemoryConfig | None,
+    *,
+    roots: Iterable[int] | None,
+    schedule: str = "dynamic",
+    jobs: int = 1,
+    num_shards: int | None = None,
+) -> ChipResult:
+    """Run the sharded chip model: one cold chip per root shard.
+
+    A decomposition of a single shard degenerates to the plain
+    single-chip model, so tiny root sets behave identically with and
+    without ``jobs``.
+    """
+    shards = resolve_shards(graph, roots, num_shards)
+    if len(shards) <= 1:
+        only = shards[0] if shards else []
+        return run_chip(
+            graph, plans, config, memcfg, roots=only, schedule=schedule
+        )
+    payload = {
+        "graph": graph,
+        "plans": list(plans),
+        "config": config,
+        "memcfg": memcfg,
+        "schedule": schedule,
+    }
+    results = run_shards(_chip_worker, payload, shards, jobs)
+    return merge_chip_results(results)
+
+
+def _software_worker(payload, shard):
+    from repro.sw.miner import SoftwareMiner
+
+    miner = SoftwareMiner(
+        payload["graph"], payload["plans"], payload["config"],
+        payload["memcfg"],
+    )
+    return miner.run(shard)
+
+
+def sharded_software_run(
+    graph: CSRGraph,
+    plans: Sequence[ExecutionPlan],
+    config,
+    memcfg: MemoryConfig | None,
+    *,
+    roots: Iterable[int] | None,
+    jobs: int = 1,
+    num_shards: int | None = None,
+):
+    """Sharded software-miner model (same contract as the chip model)."""
+    from repro.sw.miner import SoftwareMiner, merge_software_results
+
+    shards = resolve_shards(graph, roots, num_shards)
+    if len(shards) <= 1:
+        only = shards[0] if shards else []
+        return SoftwareMiner(graph, plans, config, memcfg).run(only)
+    payload = {
+        "graph": graph,
+        "plans": list(plans),
+        "config": config,
+        "memcfg": memcfg,
+    }
+    results = run_shards(_software_worker, payload, shards, jobs)
+    return merge_software_results(results)

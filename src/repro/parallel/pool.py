@@ -1,0 +1,99 @@
+"""Process-pool plumbing shared by every parallel execution path.
+
+``run_shards`` maps a module-level worker function over a list of root
+chunks on a :class:`concurrent.futures.ProcessPoolExecutor`.  The large
+read-only payload (graph, plans, configuration) is shipped to each
+worker exactly once via the pool initializer instead of once per chunk,
+which keeps pickling overhead proportional to the worker count rather
+than the chunk count.  Chunks are handed out one at a time
+(``chunksize=1``), so the pool schedules them dynamically: a worker that
+drew a cheap chunk immediately picks up the next one, absorbing
+power-law skew that degree-aware chunking alone cannot fully predict.
+
+Results are returned **in submission (chunk) order** regardless of
+completion order — a requirement of the determinism contract
+(``docs/PARALLELISM.md``).
+
+Sandboxed or restricted environments sometimes cannot create the
+semaphores/processes a pool needs; in that case ``run_shards`` falls
+back to in-process serial execution with a one-time warning.  The
+results are identical by construction, only the wall clock differs.
+"""
+
+from __future__ import annotations
+
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Sequence
+
+__all__ = ["run_shards", "pool_unavailable_reason"]
+
+# Worker-process globals installed by the pool initializer.
+_WORKER: Callable[[Any, Any], Any] | None = None
+_PAYLOAD: Any = None
+
+_POOL_FAILURE: str | None = None
+_WARNED = False
+
+
+def _initializer(worker: Callable[[Any, Any], Any], payload: Any) -> None:
+    global _WORKER, _PAYLOAD
+    _WORKER = worker
+    _PAYLOAD = payload
+
+
+def _invoke(shard: Any) -> Any:
+    assert _WORKER is not None, "pool worker used before initialization"
+    return _WORKER(_PAYLOAD, shard)
+
+
+def pool_unavailable_reason() -> str | None:
+    """Why the last pool attempt fell back to serial (None = no failure)."""
+    return _POOL_FAILURE
+
+
+def _serial(worker, payload, shards):
+    return [worker(payload, shard) for shard in shards]
+
+
+def run_shards(
+    worker: Callable[[Any, Any], Any],
+    payload: Any,
+    shards: Sequence[Any],
+    jobs: int,
+) -> list[Any]:
+    """Evaluate ``worker(payload, shard)`` for every shard, in order.
+
+    ``jobs`` is the maximum number of worker processes; ``jobs <= 1`` (or
+    a single shard) runs serially in-process.  ``worker`` must be a
+    module-level function and ``payload``/shards/results picklable.
+    """
+    global _POOL_FAILURE, _WARNED
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    shards = list(shards)
+    if jobs <= 1 or len(shards) <= 1:
+        return _serial(worker, payload, shards)
+    if _POOL_FAILURE is not None:
+        # A previous attempt failed (e.g. no process support); don't
+        # retry every call.
+        return _serial(worker, payload, shards)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(shards)),
+            initializer=_initializer,
+            initargs=(worker, payload),
+        ) as executor:
+            return list(executor.map(_invoke, shards, chunksize=1))
+    except (OSError, PermissionError, BrokenProcessPool, RuntimeError) as exc:
+        _POOL_FAILURE = f"{type(exc).__name__}: {exc}"
+        if not _WARNED:
+            _WARNED = True
+            warnings.warn(
+                "process pool unavailable "
+                f"({_POOL_FAILURE}); running shards serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return _serial(worker, payload, shards)

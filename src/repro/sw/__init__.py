@@ -22,11 +22,17 @@ exactly, like every other executor in this repository.
 """
 
 from repro.sw.config import SoftwareConfig
-from repro.sw.miner import SoftwareMiner, simulate_software, SoftwareResult
+from repro.sw.miner import (
+    SoftwareMiner,
+    SoftwareResult,
+    merge_software_results,
+    simulate_software,
+)
 
 __all__ = [
     "SoftwareConfig",
     "SoftwareMiner",
     "simulate_software",
     "SoftwareResult",
+    "merge_software_results",
 ]

@@ -22,14 +22,19 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.graph.csr import CSRGraph
-from repro.hw.cache import CacheStats, SectoredLRUCache
+from repro.hw.cache import CacheStats, SectoredLRUCache, merge_cache_stats
 from repro.hw.config import MemoryConfig
-from repro.hw.memory import DRAMModel, DRAMStats
+from repro.hw.memory import DRAMModel, DRAMStats, merge_dram_stats
 from repro.hw.pe import BasePE, Task
 from repro.hw.stats import PEStats, merge_pe_stats
 from repro.sw.config import SoftwareConfig
 
-__all__ = ["SoftwareMiner", "SoftwareResult", "simulate_software"]
+__all__ = [
+    "SoftwareMiner",
+    "SoftwareResult",
+    "simulate_software",
+    "merge_software_results",
+]
 
 #: LLC hit latency in core cycles (deeper hierarchy than the
 #: accelerator's dedicated shared cache).
@@ -109,6 +114,9 @@ class SoftwareResult:
     llc: CacheStats
     dram: DRAMStats
     total_steals: int
+    #: Number of disjoint root shards aggregated into this result (1 for
+    #: a plain run; see docs/PARALLELISM.md for the sharded model).
+    num_shards: int = 1
 
     @property
     def count(self) -> int:
@@ -121,6 +129,41 @@ class SoftwareResult:
             return 1.0
         mean = sum(busy) / len(busy)
         return self.cycles / mean if mean > 0 else 1.0
+
+
+def merge_software_results(
+    results: Sequence[SoftwareResult],
+) -> SoftwareResult:
+    """Combine per-shard software runs with exact semantics.
+
+    Mirrors :func:`repro.hw.chip.merge_chip_results`: counts, traffic
+    counters, and steals sum; core stats concatenate; ``cycles`` is the
+    slowest shard's makespan.
+    """
+    if not results:
+        raise ValueError("cannot merge zero software results")
+    first = results[0]
+    for r in results[1:]:
+        if r.design != first.design or len(r.counts) != len(first.counts):
+            raise ValueError("refusing to merge results of different designs")
+    if len(results) == 1:
+        return first
+    counts = [0] * len(first.counts)
+    for r in results:
+        for i, c in enumerate(r.counts):
+            counts[i] += c
+    all_stats = [s for r in results for s in r.core_stats]
+    return SoftwareResult(
+        design=first.design,
+        cycles=max(r.cycles for r in results),
+        counts=tuple(counts),
+        core_stats=tuple(all_stats),
+        combined=merge_pe_stats(all_stats),
+        llc=merge_cache_stats([r.llc for r in results]),
+        dram=merge_dram_stats([r.dram for r in results]),
+        total_steals=sum(r.total_steals for r in results),
+        num_shards=sum(r.num_shards for r in results),
+    )
 
 
 class SoftwareMiner:
@@ -212,12 +255,27 @@ def simulate_software(
     config: SoftwareConfig,
     *,
     roots: Iterable[int] | None = None,
+    jobs: int | None = None,
+    shards: int | None = None,
 ) -> SoftwareResult:
     """Run one mining job on the software model.
 
     Accepts the same workload specs as :func:`repro.hw.api.simulate`.
+    ``jobs``/``shards`` select the sharded model (one cold miner per
+    root shard, exact merges, makespan = max over shards) with the same
+    determinism contract as the chip simulator — see
+    docs/PARALLELISM.md.
     """
     from repro.hw.api import resolve_workload
 
     _, plans, _ = resolve_workload(workload)
-    return SoftwareMiner(graph, plans, config).run(roots)
+    if jobs is None and shards is None:
+        return SoftwareMiner(graph, plans, config).run(roots)
+    if jobs is not None and jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    from repro.parallel.hardware import sharded_software_run
+
+    return sharded_software_run(
+        graph, plans, config, None,
+        roots=roots, jobs=jobs or 1, num_shards=shards,
+    )

@@ -1,0 +1,94 @@
+"""Properties of the degree-aware root sharding policy."""
+
+import numpy as np
+import pytest
+
+from repro.graph import erdos_renyi, star_graph
+from repro.parallel import (
+    CHUNKS_PER_JOB,
+    DEFAULT_SHARDS,
+    default_num_shards,
+    engine_num_chunks,
+    shard_roots,
+)
+
+
+class TestShardRoots:
+    def test_concatenation_preserves_order(self, small_random):
+        roots = list(range(small_random.num_vertices))
+        shards = shard_roots(small_random, roots, 4)
+        assert [v for shard in shards for v in shard] == roots
+
+    def test_subset_roots_preserved(self, small_random):
+        roots = [5, 1, 28, 3]
+        shards = shard_roots(small_random, roots, 2)
+        assert [v for shard in shards for v in shard] == roots
+
+    def test_none_means_all_vertices(self, small_random):
+        shards = shard_roots(small_random, None, 3)
+        flat = [v for shard in shards for v in shard]
+        assert flat == list(range(small_random.num_vertices))
+
+    def test_no_empty_shards(self, small_random):
+        for num_shards in (1, 2, 5, 16, 64):
+            shards = shard_roots(small_random, None, num_shards)
+            assert all(len(shard) > 0 for shard in shards)
+
+    def test_at_most_requested_shards(self, small_random):
+        shards = shard_roots(small_random, None, 7)
+        assert 1 <= len(shards) <= 7
+
+    def test_more_shards_than_roots(self, small_random):
+        shards = shard_roots(small_random, [0, 1], 16)
+        assert [v for shard in shards for v in shard] == [0, 1]
+        assert len(shards) <= 2
+
+    def test_single_shard_is_identity(self, small_random):
+        roots = [4, 2, 9]
+        assert shard_roots(small_random, roots, 1) == [roots]
+
+    def test_degree_balance_on_star(self):
+        # Hub vertex 0 carries nearly all the weight: it should sit in
+        # its own shard rather than dragging half the leaves with it.
+        g = star_graph(64)
+        shards = shard_roots(g, None, 4)
+        hub_shard = next(s for s in shards if 0 in s)
+        assert len(hub_shard) < g.num_vertices / 2
+
+    def test_deterministic(self, small_random):
+        a = shard_roots(small_random, None, 8)
+        b = shard_roots(small_random, None, 8)
+        assert a == b
+
+    def test_out_of_range_root_raises(self, small_random):
+        with pytest.raises(ValueError):
+            shard_roots(small_random, [small_random.num_vertices], 2)
+        with pytest.raises(ValueError):
+            shard_roots(small_random, [-1], 2)
+
+    def test_empty_roots(self, small_random):
+        assert shard_roots(small_random, [], 4) == []
+
+    def test_num_shards_must_be_positive(self, small_random):
+        with pytest.raises(ValueError):
+            shard_roots(small_random, None, 0)
+
+    def test_weights_are_degree_plus_one(self):
+        # A zero-degree vertex still gets weight 1, so isolated vertices
+        # cannot collapse every cut to the same boundary.
+        g = erdos_renyi(20, 0.0, seed=3)
+        shards = shard_roots(g, None, 4)
+        sizes = sorted(len(s) for s in shards)
+        assert sizes == [5, 5, 5, 5]
+
+
+class TestPolicies:
+    def test_default_num_shards_caps(self):
+        assert default_num_shards(1) == 1
+        assert default_num_shards(5) == 5
+        assert default_num_shards(10_000) == DEFAULT_SHARDS
+
+    def test_engine_chunks_scale_with_jobs(self):
+        assert engine_num_chunks(1000, 4) == 4 * CHUNKS_PER_JOB
+        assert engine_num_chunks(2, 8) == 2
+        assert engine_num_chunks(0, 8) == 1

@@ -1,0 +1,60 @@
+"""run_shards: ordering, serial paths, and the serial fallback."""
+
+import pytest
+
+from repro.parallel import pool
+from repro.parallel.pool import run_shards
+
+
+def _square_sum(payload, shard):
+    return payload * sum(shard)
+
+
+def _shard_id(payload, shard):
+    return shard
+
+
+class TestRunShards:
+    def test_serial_path(self):
+        out = run_shards(_square_sum, 2, [[1, 2], [3]], jobs=1)
+        assert out == [6, 6]
+
+    def test_single_shard_runs_serially(self):
+        out = run_shards(_square_sum, 10, [[1]], jobs=8)
+        assert out == [10]
+
+    def test_parallel_matches_serial(self):
+        shards = [[i, i + 1] for i in range(10)]
+        serial = run_shards(_square_sum, 3, shards, jobs=1)
+        parallel = run_shards(_square_sum, 3, shards, jobs=4)
+        assert parallel == serial
+
+    def test_results_in_submission_order(self):
+        shards = [[i] for i in range(20)]
+        assert run_shards(_shard_id, None, shards, jobs=4) == shards
+
+    def test_empty_shards(self):
+        assert run_shards(_square_sum, 1, [], jobs=4) == []
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_shards(_square_sum, 1, [[1]], jobs=0)
+
+    def test_fallback_on_pool_failure(self, monkeypatch):
+        def _broken(*args, **kwargs):
+            raise OSError("no semaphores here")
+
+        monkeypatch.setattr(pool, "ProcessPoolExecutor", _broken)
+        monkeypatch.setattr(pool, "_POOL_FAILURE", None)
+        monkeypatch.setattr(pool, "_WARNED", False)
+        with pytest.warns(RuntimeWarning, match="process pool unavailable"):
+            out = run_shards(_square_sum, 2, [[1], [2], [3]], jobs=4)
+        assert out == [2, 4, 6]
+        assert pool.pool_unavailable_reason() is not None
+        # Subsequent calls skip the pool without re-warning.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            again = run_shards(_square_sum, 2, [[1], [2]], jobs=4)
+        assert again == [2, 4]
