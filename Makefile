@@ -1,8 +1,9 @@
 # Convenience targets for the FINGERS reproduction.
 
 PYTHON ?= python
+export PYTHONPATH := src
 
-.PHONY: install test bench bench-fast examples clean loc
+.PHONY: install test bench bench-fast examples clean loc lint check
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -26,6 +27,21 @@ examples:
 	$(PYTHON) examples/design_space_exploration.py
 	$(PYTHON) examples/trace_and_validate.py
 	$(PYTHON) examples/software_vs_hardware.py
+
+# Static analysis: the in-tree linter + plan verifier always run; ruff
+# and mypy run only where installed (the container image does not ship
+# them — CI installs both).
+lint:
+	$(PYTHON) -m repro lint
+	$(PYTHON) -m repro lint-plan --all
+	@command -v ruff >/dev/null 2>&1 \
+		&& ruff check src tests \
+		|| echo "ruff not installed; skipping"
+	@command -v mypy >/dev/null 2>&1 \
+		&& mypy --config-file pyproject.toml \
+		|| echo "mypy not installed; skipping"
+
+check: test-fast lint
 
 loc:
 	find src tests benchmarks examples -name '*.py' | xargs wc -l | tail -1

@@ -1,0 +1,47 @@
+"""Static analysis for the reproduction's correctness contracts.
+
+Two tiers, one finding model (see docs/ANALYSIS.md for the rule
+catalog):
+
+* **Tier A — code linter** (:mod:`repro.analysis.codelint`): AST rules
+  that mechanically enforce the determinism/parallel-safety contract of
+  docs/PARALLELISM.md — unseeded randomness (DET001), wall-clock reads
+  in simulation paths (DET002), iteration over unordered sets in hot
+  paths (DET003), unpicklable worker dispatch (PAR001), config fields
+  escaping the cache schema hash (CACHE001), plus generic hygiene
+  (HYG001/HYG002).
+* **Tier B — plan verifier** (:mod:`repro.analysis.planlint`): static
+  legality checks over compiled :class:`~repro.pattern.plan.ExecutionPlan`
+  IR — state def-before-use, level coverage, restriction partial order
+  and automorphism consistency, set-op datapath legality, ordering
+  connectivity (PLAN001-PLAN006).
+
+Both are exposed through ``python -m repro lint`` and
+``python -m repro lint-plan`` and run in CI; intentional findings live
+in a reviewed baseline file (:mod:`repro.analysis.baseline`).
+"""
+
+from repro.analysis.baseline import Baseline, load_baseline, write_baseline
+from repro.analysis.codelint import lint_paths, lint_source
+from repro.analysis.engine import ALL_RULES, Rule, rule_catalog
+from repro.analysis.findings import Finding, Severity, fingerprint
+from repro.analysis.planlint import verify_all_builtin, verify_plan
+from repro.analysis.report import render_json, render_text
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "Finding",
+    "Rule",
+    "Severity",
+    "fingerprint",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "rule_catalog",
+    "verify_all_builtin",
+    "verify_plan",
+    "write_baseline",
+]

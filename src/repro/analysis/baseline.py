@@ -1,0 +1,120 @@
+"""Reviewed baseline file: per-finding suppressions with reasons.
+
+The baseline is the *audited* list of findings the project accepts —
+each entry carries the rule, location metadata, and a human reason, so
+`repro lint` stays a zero-findings gate without hiding why an exception
+exists.  Entries are keyed by the line-number-independent fingerprint of
+:func:`repro.analysis.findings.fingerprint`, so the file survives edits
+elsewhere in the same module.
+
+Workflow::
+
+    repro lint                          # fails on non-baselined findings
+    repro lint --write-baseline         # snapshot current findings
+    $EDITOR .repro-lint-baseline.json   # add a "reason" to every entry
+
+The file is committed and reviewed like code; CI fails on any finding
+outside it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.findings import Finding, fingerprint_all
+
+__all__ = [
+    "DEFAULT_BASELINE_NAME",
+    "Baseline",
+    "load_baseline",
+    "partition",
+    "write_baseline",
+]
+
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """A set of fingerprinted suppressions loaded from (or bound for) disk."""
+
+    #: fingerprint -> entry metadata ({"rule", "path", "snippet", "reason"}).
+    entries: dict[str, dict[str, str]] = field(default_factory=dict)
+
+    def __contains__(self, fp: str) -> bool:
+        return fp in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def load_baseline(path: Path | str) -> Baseline:
+    """Load a baseline file; a missing file is an empty baseline.
+
+    A malformed file raises ``ValueError`` — a suppression list that
+    cannot be parsed must never silently suppress nothing (CI would
+    fail) or everything (bugs would pass).
+    """
+    path = Path(path)
+    if not path.exists():
+        return Baseline()
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline file {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or data.get("version") != _VERSION:
+        raise ValueError(
+            f"baseline file {path} has unsupported structure/version "
+            f"(expected version {_VERSION})"
+        )
+    entries = data.get("entries")
+    if not isinstance(entries, dict):
+        raise ValueError(f"baseline file {path} lacks an 'entries' object")
+    return Baseline(entries={str(k): dict(v) for k, v in entries.items()})
+
+
+def write_baseline(path: Path | str, findings: Sequence[Finding]) -> Baseline:
+    """Snapshot ``findings`` as a fresh baseline file (sorted, stable).
+
+    Reasons of surviving entries are *not* preserved across rewrites on
+    purpose: regenerating the baseline is a review event, and every
+    entry's reason should be (re-)stated deliberately.
+    """
+    baseline = Baseline(
+        entries={
+            fp: {
+                "rule": f.rule,
+                "path": f.path,
+                "snippet": f.snippet,
+                "message": f.message,
+                "reason": "TODO: document why this finding is intentional",
+            }
+            for f, fp in fingerprint_all(findings)
+        }
+    )
+    payload = {
+        "version": _VERSION,
+        "entries": {
+            fp: baseline.entries[fp] for fp in sorted(baseline.entries)
+        },
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+    return baseline
+
+
+def partition(
+    findings: Sequence[Finding], baseline: Baseline
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into ``(fresh, suppressed)`` against a baseline."""
+    fresh: list[Finding] = []
+    suppressed: list[Finding] = []
+    for f, fp in fingerprint_all(findings):
+        (suppressed if fp in baseline else fresh).append(f)
+    return fresh, suppressed

@@ -1,0 +1,106 @@
+"""The finding/severity model shared by both analysis tiers.
+
+A :class:`Finding` is one rule violation at one location.  Findings are
+value objects: sortable (report order), hashable, and fingerprintable
+for the baseline file.  Fingerprints deliberately hash the *stripped
+source line text* instead of the line number, so unrelated edits above a
+baselined finding do not invalidate the baseline (the same scheme ruff
+and ESLint use for their suppression files).
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings break a documented contract (determinism, cache
+    validity, plan legality) and fail the lint run; ``WARNING`` findings
+    are hygiene issues that still fail CI but signal style-adjacent
+    hazards rather than observable misbehavior.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source (or plan) location.
+
+    Attributes
+    ----------
+    rule:
+        Rule identifier (``DET001``, ``PLAN003``, ...).
+    severity:
+        :class:`Severity` of the rule.
+    path:
+        File path for code findings; ``<plan:NAME>`` for plan findings.
+    line:
+        1-based source line, or the plan level for plan findings.
+    col:
+        0-based column (0 for plan findings).
+    message:
+        Human-readable description of the violation.
+    snippet:
+        Stripped text of the offending source line (empty for plan
+        findings); feeds the baseline fingerprint.
+    """
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = field(default="", compare=False)
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+
+def sort_findings(findings: Iterable[Finding]) -> list[Finding]:
+    """Findings in stable report order (path, line, col, rule)."""
+    return sorted(findings, key=Finding.sort_key)
+
+
+def fingerprint(finding: Finding, occurrence: int = 0) -> str:
+    """Stable identity of a finding for the baseline file.
+
+    Hashes ``(rule, path, snippet, occurrence)`` — line numbers are
+    excluded on purpose (see module docstring).  ``occurrence``
+    disambiguates identical findings on identical source lines in the
+    same file.
+    """
+    payload = "\x1f".join(
+        [finding.rule, finding.path, finding.snippet, str(occurrence)]
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def fingerprint_all(findings: Sequence[Finding]) -> list[tuple[Finding, str]]:
+    """Pair every finding with its occurrence-disambiguated fingerprint.
+
+    Deterministic: findings are processed in sorted order, and the n-th
+    finding with the same ``(rule, path, snippet)`` gets occurrence
+    ``n`` — so the mapping is reproducible across runs and machines.
+    """
+    counts: dict[tuple[str, str, str], int] = {}
+    out: list[tuple[Finding, str]] = []
+    for f in sort_findings(findings):
+        key = (f.rule, f.path, f.snippet)
+        n = counts.get(key, 0)
+        counts[key] = n + 1
+        out.append((f, fingerprint(f, n)))
+    return out

@@ -1,0 +1,79 @@
+"""Reporters: human-readable text and machine-readable JSON.
+
+Both render the same partitioned result — fresh findings, suppressed
+(baselined) findings, and counts — so CI log output and tooling
+consumers agree on what a run saw.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.analysis.findings import Finding, Severity, sort_findings
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_text(
+    fresh: Sequence[Finding],
+    suppressed: Sequence[Finding] = (),
+    *,
+    verbose_suppressed: bool = False,
+) -> str:
+    """GCC-style ``path:line:col: SEVERITY RULE message`` lines."""
+    lines: list[str] = []
+    for f in sort_findings(fresh):
+        lines.append(
+            f"{f.location()}: {f.severity.value} {f.rule}: {f.message}"
+        )
+        if f.snippet:
+            lines.append(f"    {f.snippet}")
+    if suppressed:
+        if verbose_suppressed:
+            for f in sort_findings(suppressed):
+                lines.append(
+                    f"{f.location()}: baselined {f.rule}: {f.message}"
+                )
+        lines.append(f"({len(suppressed)} baselined finding"
+                     f"{'' if len(suppressed) == 1 else 's'} suppressed)")
+    errors = sum(1 for f in fresh if f.severity is Severity.ERROR)
+    warnings = len(fresh) - errors
+    if fresh:
+        lines.append(f"{errors} error{'' if errors == 1 else 's'}, "
+                     f"{warnings} warning{'' if warnings == 1 else 's'}")
+    else:
+        lines.append("clean: no findings outside the baseline")
+    return "\n".join(lines)
+
+
+def render_json(
+    fresh: Sequence[Finding], suppressed: Sequence[Finding] = ()
+) -> str:
+    """Stable JSON document (findings sorted, keys ordered)."""
+
+    def encode(f: Finding) -> dict[str, object]:
+        return {
+            "rule": f.rule,
+            "severity": f.severity.value,
+            "path": f.path,
+            "line": f.line,
+            "col": f.col,
+            "message": f.message,
+            "snippet": f.snippet,
+        }
+
+    doc = {
+        "findings": [encode(f) for f in sort_findings(fresh)],
+        "suppressed": [encode(f) for f in sort_findings(suppressed)],
+        "counts": {
+            "errors": sum(
+                1 for f in fresh if f.severity is Severity.ERROR
+            ),
+            "warnings": sum(
+                1 for f in fresh if f.severity is Severity.WARNING
+            ),
+            "suppressed": len(suppressed),
+        },
+    }
+    return json.dumps(doc, indent=2)

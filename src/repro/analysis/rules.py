@@ -1,0 +1,485 @@
+"""Tier-A lint rules: the contracts of docs/PARALLELISM.md, mechanized.
+
+Rule catalog (docs/ANALYSIS.md has the long-form rationale):
+
+=========  ========  ==========================================================
+DET001     error     unseeded randomness in ``repro.*``
+DET002     error     wall-clock reads inside simulation/mining/bench paths
+DET003     error     order-sensitive iteration over unordered sets in hot paths
+PAR001     error     lambda / nested-function handed to the worker pool
+CACHE001   error     config dataclass field escaping the cache schema hash
+HYG001     warning   mutable default argument
+HYG002     warning   bare ``except:``
+=========  ========  ==========================================================
+
+Each rule is registered with the engine at import time; the module is
+imported lazily by :func:`repro.analysis.engine.rule_catalog`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutils import (
+    attr_chain,
+    collect_imports,
+    is_set_expr,
+    iter_scopes,
+    set_names_in,
+    walk_scope,
+)
+from repro.analysis.engine import ModuleContext, Rule, register
+from repro.analysis.findings import Finding, Severity
+
+__all__ = ["HOT_PATH_PACKAGES", "SIMULATION_PACKAGES"]
+
+#: Packages whose iteration order reaches merged results (DET003).
+HOT_PATH_PACKAGES = (
+    "repro.mining",
+    "repro.hw",
+    "repro.parallel",
+    "repro.sw",
+    "repro.setops",
+)
+
+#: Packages where wall-clock reads would leak into modelled results
+#: (DET002).  ``repro.bench`` is included: its one intentional
+#: harness-timing read is carried in the reviewed baseline.
+SIMULATION_PACKAGES = HOT_PATH_PACKAGES + ("repro.pattern", "repro.bench")
+
+
+# ----------------------------------------------------------------------
+# DET001 — unseeded randomness
+# ----------------------------------------------------------------------
+
+_RANDOM_MODULE_FNS = {
+    "random", "randint", "randrange", "choice", "choices", "sample",
+    "shuffle", "uniform", "gauss", "normalvariate", "betavariate",
+    "expovariate", "triangular", "getrandbits", "randbytes",
+}
+_NUMPY_GLOBAL_FNS = {
+    "rand", "randn", "randint", "random", "random_sample", "choice",
+    "shuffle", "permutation", "uniform", "normal", "standard_normal",
+    "bytes",
+}
+
+
+def _call_has_seed(call: ast.Call) -> bool:
+    """Whether a RNG-constructor call pins a seed explicitly."""
+    if any(
+        not isinstance(a, ast.Constant) or a.value is not None
+        for a in call.args
+    ):
+        return True
+    for kw in call.keywords:
+        if kw.arg in (None, "seed") and not (
+            isinstance(kw.value, ast.Constant) and kw.value.value is None
+        ):
+            return True
+    return False
+
+
+def _check_det001(tree: ast.Module, ctx: ModuleContext) -> Iterator[Finding]:
+    imports = collect_imports(tree)
+    random_aliases = {
+        alias for alias, mod in imports.modules.items() if mod == "random"
+    }
+    numpy_aliases = {
+        alias for alias, mod in imports.modules.items() if mod == "numpy"
+    }
+    numpy_random_aliases = {
+        alias
+        for alias, mod in imports.modules.items()
+        if mod == "numpy.random"
+    }
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = attr_chain(node.func)
+        if not chain:
+            continue
+        message = None
+        # random.shuffle(...), random.Random() without a seed
+        if len(chain) == 2 and chain[0] in random_aliases:
+            if chain[1] in _RANDOM_MODULE_FNS:
+                message = (
+                    f"call to the process-global RNG `random.{chain[1]}`; "
+                    "pass an explicitly seeded `random.Random(seed)` instead"
+                )
+            elif chain[1] in ("Random", "SystemRandom") and not _call_has_seed(
+                node
+            ):
+                message = (
+                    f"`random.{chain[1]}()` constructed without a seed"
+                )
+        # bare `shuffle(...)` via `from random import shuffle`
+        elif len(chain) == 1:
+            origin = imports.from_import(chain[0])
+            if origin is not None and origin[0] == "random":
+                if origin[1] in _RANDOM_MODULE_FNS:
+                    message = (
+                        f"call to `random.{origin[1]}` (imported as "
+                        f"`{chain[0]}`) uses the process-global RNG"
+                    )
+                elif origin[1] == "Random" and not _call_has_seed(node):
+                    message = "`random.Random()` constructed without a seed"
+        # np.random.<fn> legacy global API / unseeded default_rng()
+        elif len(chain) == 3 and chain[0] in numpy_aliases and chain[1] == "random":
+            if chain[2] in _NUMPY_GLOBAL_FNS:
+                message = (
+                    f"call to the global `numpy.random.{chain[2]}`; use an "
+                    "explicitly seeded `numpy.random.default_rng(seed)`"
+                )
+            elif chain[2] in ("default_rng", "RandomState") and not _call_has_seed(
+                node
+            ):
+                message = f"`numpy.random.{chain[2]}()` without a seed"
+        elif len(chain) == 2 and chain[0] in numpy_random_aliases:
+            if chain[1] in _NUMPY_GLOBAL_FNS:
+                message = (
+                    f"call to the global `numpy.random.{chain[1]}`; use an "
+                    "explicitly seeded `numpy.random.default_rng(seed)`"
+                )
+            elif chain[1] in ("default_rng", "RandomState") and not _call_has_seed(
+                node
+            ):
+                message = f"`numpy.random.{chain[1]}()` without a seed"
+        if message is not None:
+            found = ctx.finding(DET001, node, message)
+            if found is not None:
+                yield found
+
+
+DET001 = register(
+    Rule(
+        id="DET001",
+        severity=Severity.ERROR,
+        summary="unseeded randomness (process-global RNG or seedless generator)",
+        scope=("repro",),
+        check=_check_det001,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# DET002 — wall-clock reads in simulation / mining paths
+# ----------------------------------------------------------------------
+
+_TIME_FNS = {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+             "perf_counter_ns", "process_time", "process_time_ns"}
+_DATETIME_FNS = {"now", "utcnow", "today"}
+
+
+def _check_det002(tree: ast.Module, ctx: ModuleContext) -> Iterator[Finding]:
+    imports = collect_imports(tree)
+    time_aliases = {
+        alias for alias, mod in imports.modules.items() if mod == "time"
+    }
+    datetime_aliases = {
+        alias for alias, mod in imports.modules.items() if mod == "datetime"
+    }
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = attr_chain(node.func)
+        message = None
+        if len(chain) == 2 and chain[0] in time_aliases and chain[1] in _TIME_FNS:
+            message = f"wall-clock read `time.{chain[1]}()`"
+        elif len(chain) == 1:
+            origin = imports.from_import(chain[0])
+            if origin is not None and origin[0] == "time" and origin[1] in _TIME_FNS:
+                message = f"wall-clock read `time.{origin[1]}()`"
+        elif (
+            len(chain) >= 2
+            and chain[-1] in _DATETIME_FNS
+            and (
+                chain[0] in datetime_aliases
+                or imports.from_import(chain[0]) == ("datetime", "datetime")
+                or imports.from_import(chain[0]) == ("datetime", "date")
+            )
+        ):
+            message = f"wall-clock read `{'.'.join(chain)}()`"
+        if message is not None:
+            found = ctx.finding(
+                DET002,
+                node,
+                message
+                + " inside a simulation/mining path; modelled time must come "
+                "from the event loop, not the host clock",
+            )
+            if found is not None:
+                yield found
+
+
+DET002 = register(
+    Rule(
+        id="DET002",
+        severity=Severity.ERROR,
+        summary="wall-clock read inside a simulation/mining path",
+        scope=SIMULATION_PACKAGES,
+        check=_check_det002,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# DET003 — order-sensitive iteration over unordered sets
+# ----------------------------------------------------------------------
+
+_ORDER_SAFE_WRAPPERS = {
+    "sorted", "len", "sum", "min", "max", "any", "all", "set", "frozenset",
+}
+
+
+def _check_det003(tree: ast.Module, ctx: ModuleContext) -> Iterator[Finding]:
+    for scope_node, body in iter_scopes(tree):
+        sets = set_names_in(body, scope_node)
+
+        def emit(node: ast.AST, what: str) -> Finding | None:
+            return ctx.finding(
+                DET003,
+                node,
+                f"{what} over an unordered set — iteration order is not part "
+                "of the language contract and can break bit-identical shard "
+                "merges; iterate `sorted(...)` or an ordered container",
+            )
+
+        # walk_scope keeps nested functions out: they are re-visited as
+        # their own scope with their own set-name table.
+        for stmt in walk_scope(scope_node):
+            if isinstance(stmt, ast.For) and is_set_expr(stmt.iter, sets):
+                found = emit(stmt.iter, "`for` loop")
+                if found is not None:
+                    yield found
+            elif isinstance(stmt, ast.Call):
+                chain = attr_chain(stmt.func)
+                if (
+                    len(chain) == 2
+                    and chain[1] == "pop"
+                    and chain[0] in sets
+                    and not stmt.args
+                ):
+                    found = emit(
+                        stmt, "`set.pop()` (removes an *arbitrary* element)"
+                    )
+                    if found is not None:
+                        yield found
+                elif (
+                    chain in (("list",), ("tuple",))
+                    and len(stmt.args) == 1
+                    and is_set_expr(stmt.args[0], sets)
+                ):
+                    found = emit(stmt, f"`{chain[0]}(...)` materialization")
+                    if found is not None:
+                        yield found
+
+
+DET003 = register(
+    Rule(
+        id="DET003",
+        severity=Severity.ERROR,
+        summary="order-sensitive iteration over an unordered set in a hot path",
+        scope=HOT_PATH_PACKAGES,
+        check=_check_det003,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# PAR001 — unpicklable / state-capturing worker dispatch
+# ----------------------------------------------------------------------
+
+_POOL_DISPATCH_FNS = {"run_shards"}
+_POOL_METHOD_FNS = {"submit", "map", "apply_async", "imap", "imap_unordered",
+                    "starmap"}
+
+
+def _nested_function_names(tree: ast.Module) -> set[str]:
+    nested: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for child in ast.walk(node):
+                if child is not node and isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    nested.add(child.name)
+    return nested
+
+
+def _check_par001(tree: ast.Module, ctx: ModuleContext) -> Iterator[Finding]:
+    nested = _nested_function_names(tree)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = attr_chain(node.func)
+        if not chain:
+            continue
+        is_pool_call = chain[-1] in _POOL_DISPATCH_FNS
+        is_pool_method = len(chain) >= 2 and chain[-1] in _POOL_METHOD_FNS
+        if not (is_pool_call or is_pool_method):
+            continue
+        for arg in node.args:
+            if isinstance(arg, ast.Lambda):
+                found = ctx.finding(
+                    PAR001,
+                    arg,
+                    f"lambda passed to `{chain[-1]}(...)`: lambdas are "
+                    "unpicklable and capture enclosing state; dispatch a "
+                    "module-level function (docs/PARALLELISM.md §3)",
+                )
+                if found is not None:
+                    yield found
+            elif (
+                is_pool_call
+                and isinstance(arg, ast.Name)
+                and arg.id in nested
+            ):
+                found = ctx.finding(
+                    PAR001,
+                    arg,
+                    f"nested function `{arg.id}` passed to "
+                    f"`{chain[-1]}(...)`: closures are unpicklable and "
+                    "capture enclosing state; use a module-level worker",
+                )
+                if found is not None:
+                    yield found
+
+
+PAR001 = register(
+    Rule(
+        id="PAR001",
+        severity=Severity.ERROR,
+        summary="lambda/closure handed to the process pool",
+        scope=("repro",),
+        check=_check_par001,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# CACHE001 — config fields escaping the cache schema hash
+# ----------------------------------------------------------------------
+
+
+def _is_dataclass_decorated(cls: ast.ClassDef) -> bool:
+    for dec in cls.decorator_list:
+        chain = attr_chain(dec.func if isinstance(dec, ast.Call) else dec)
+        if chain and chain[-1] == "dataclass":
+            return True
+    return False
+
+
+def _check_cache001(tree: ast.Module, ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not node.name.endswith("Config") or not _is_dataclass_decorated(node):
+            continue
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.value, ast.Call
+            ):
+                chain = attr_chain(stmt.value.func)
+                if chain and chain[-1] == "field":
+                    for kw in stmt.value.keywords:
+                        if (
+                            kw.arg == "repr"
+                            and isinstance(kw.value, ast.Constant)
+                            and kw.value.value is False
+                        ):
+                            found = ctx.finding(
+                                CACHE001,
+                                stmt,
+                                f"`{node.name}` field declared with "
+                                "`repr=False`: cache keys hash the config's "
+                                "repr (repro.cache.make_key), so this field "
+                                "silently escapes the schema hash",
+                            )
+                            if found is not None:
+                                yield found
+            elif (
+                isinstance(stmt, ast.FunctionDef) and stmt.name == "__repr__"
+            ):
+                found = ctx.finding(
+                    CACHE001,
+                    stmt,
+                    f"`{node.name}` overrides `__repr__`: cache keys hash "
+                    "the dataclass-generated repr; a custom repr can omit "
+                    "simulate-relevant fields from the schema hash",
+                )
+                if found is not None:
+                    yield found
+
+
+CACHE001 = register(
+    Rule(
+        id="CACHE001",
+        severity=Severity.ERROR,
+        summary="config dataclass field escapes the cache schema hash",
+        scope=("repro.hw", "repro.sw"),
+        check=_check_cache001,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# HYG001 / HYG002 — generic engine hygiene
+# ----------------------------------------------------------------------
+
+
+def _check_hyg001(tree: ast.Module, ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for default in [*node.args.defaults, *node.args.kw_defaults]:
+            if default is None:
+                continue
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set))
+            if isinstance(default, ast.Call):
+                chain = attr_chain(default.func)
+                mutable = chain in (("list",), ("dict",), ("set",))
+            if mutable:
+                found = ctx.finding(
+                    HYG001,
+                    default,
+                    f"mutable default argument in `{node.name}(...)`; "
+                    "default to None and construct inside the function",
+                )
+                if found is not None:
+                    yield found
+
+
+HYG001 = register(
+    Rule(
+        id="HYG001",
+        severity=Severity.WARNING,
+        summary="mutable default argument",
+        scope=("repro",),
+        check=_check_hyg001,
+    )
+)
+
+
+def _check_hyg002(tree: ast.Module, ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            found = ctx.finding(
+                HYG002,
+                node,
+                "bare `except:` swallows SystemExit/KeyboardInterrupt; "
+                "catch the narrowest exception the operation can raise",
+            )
+            if found is not None:
+                yield found
+
+
+HYG002 = register(
+    Rule(
+        id="HYG002",
+        severity=Severity.WARNING,
+        summary="bare except",
+        scope=("repro",),
+        check=_check_hyg002,
+    )
+)

@@ -12,6 +12,8 @@ Subcommands
 ``bench``      Run one named experiment (table1 ... fig13, table3,
                ablation-*) and print the paper-shaped output.
 ``cache``      Inspect or clear the persistent result cache.
+``lint``       Static determinism/parallel-safety linter (docs/ANALYSIS.md).
+``lint-plan``  Statically verify compiled execution plans.
 
 ``count``, ``simulate``, ``compare``, and ``bench`` accept ``--jobs N``
 (shard search-tree roots over N worker processes; results are identical
@@ -26,6 +28,8 @@ Examples::
     python -m repro compare cyc --dataset As --pes 1 --jobs 4
     python -m repro bench table2
     python -m repro cache info
+    python -m repro lint --json
+    python -m repro lint-plan --all
 """
 
 from __future__ import annotations
@@ -164,6 +168,50 @@ def build_parser() -> argparse.ArgumentParser:
         "action", choices=["info", "clear", "path"],
         help="info: entries and size; clear: delete entries; path: print dir",
     )
+
+    p = sub.add_parser(
+        "lint",
+        help="determinism/parallel-safety linter (rule catalog: "
+             "docs/ANALYSIS.md)",
+    )
+    p.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="baseline suppression file "
+             "(default: ./.repro-lint-baseline.json if present)",
+    )
+    p.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every finding, ignoring the baseline file",
+    )
+    p.add_argument(
+        "--write-baseline", action="store_true",
+        help="snapshot current findings into the baseline file and exit 0",
+    )
+    p.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also list baselined findings individually",
+    )
+
+    p = sub.add_parser(
+        "lint-plan", help="statically verify compiled execution plans"
+    )
+    p.add_argument(
+        "pattern", nargs="?",
+        help="benchmark pattern name (tc, 4cl, tt, ...); omit with --all",
+    )
+    p.add_argument(
+        "--all", action="store_true",
+        help="verify every built-in pattern, both semantics",
+    )
+    p.add_argument(
+        "--edge-induced", action="store_true", help="edge-induced semantics"
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
     return parser
 
 
@@ -334,6 +382,90 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis import (
+        lint_paths,
+        load_baseline,
+        render_json,
+        render_text,
+        write_baseline,
+    )
+    from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline, partition
+    from repro.analysis.codelint import default_lint_root
+
+    targets = args.paths or [default_lint_root()]
+    findings = lint_paths(targets)
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(
+        DEFAULT_BASELINE_NAME
+    )
+    if args.write_baseline:
+        written = write_baseline(baseline_path, findings)
+        print(
+            f"wrote {len(written)} finding{'' if len(written) == 1 else 's'} "
+            f"to {baseline_path}; document a reason for each entry"
+        )
+        return 0
+
+    if args.no_baseline:
+        baseline = Baseline()
+    else:
+        try:
+            baseline = load_baseline(baseline_path)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    fresh, suppressed = partition(findings, baseline)
+    if args.json:
+        print(render_json(fresh, suppressed))
+    else:
+        print(render_text(fresh, suppressed,
+                          verbose_suppressed=args.show_suppressed))
+    return 1 if fresh else 0
+
+
+def _cmd_lint_plan(args) -> int:
+    import json as _json
+
+    from repro.analysis import render_text, verify_all_builtin, verify_plan
+    from repro.mining.api import plan_for
+
+    if args.all == bool(args.pattern):
+        print("error: give exactly one of a pattern name or --all",
+              file=sys.stderr)
+        return 2
+    if args.all:
+        results = verify_all_builtin()
+    else:
+        plan = plan_for(args.pattern, vertex_induced=not args.edge_induced)
+        label = (
+            f"{args.pattern}/"
+            f"{'edge' if args.edge_induced else 'vertex'}-induced"
+        )
+        results = {label: verify_plan(plan, name=label)}
+
+    bad = {label: f for label, f in results.items() if f}
+    if args.json:
+        print(_json.dumps({
+            label: [
+                {"rule": f.rule, "level": f.line, "message": f.message}
+                for f in fs
+            ]
+            for label, fs in results.items()
+        }, indent=2))
+    else:
+        for label in sorted(results):
+            status = "FAIL" if results[label] else "ok"
+            print(f"{label:24s} {status}")
+            if results[label]:
+                print(render_text(results[label]))
+    if not args.json:
+        print(f"{len(results) - len(bad)}/{len(results)} plans statically valid")
+    return 1 if bad else 0
+
+
 def _cmd_bench(args) -> int:
     from repro.bench import ablations, experiments
     from repro.bench import runner as _runner
@@ -389,6 +521,8 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "bench": _cmd_bench,
     "cache": _cmd_cache,
+    "lint": _cmd_lint,
+    "lint-plan": _cmd_lint_plan,
 }
 
 

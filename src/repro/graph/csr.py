@@ -101,7 +101,9 @@ class CSRGraph:
             fwd = vertex_of.astype(np.int64) * n + indices
             rev = indices.astype(np.int64) * n + vertex_of
             if not np.array_equal(np.sort(fwd), np.sort(rev)):
-                raise ValueError("adjacency is not symmetric (graph must be undirected)")
+                raise ValueError(
+                    "adjacency is not symmetric (graph must be undirected)"
+                )
         del degrees
 
     # ------------------------------------------------------------------

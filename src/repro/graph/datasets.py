@@ -42,7 +42,9 @@ from repro.graph import generators
 from repro.graph.builders import relabel_by_degree
 from repro.graph.csr import CSRGraph
 
-__all__ = ["DatasetSpec", "DATASET_SPECS", "dataset_names", "load_dataset", "CACHE_SCALE"]
+__all__ = [
+    "DatasetSpec", "DATASET_SPECS", "dataset_names", "load_dataset", "CACHE_SCALE",
+]
 
 #: All byte capacities taken from the paper (4 MB shared cache, 2-16 MB
 #: sweep, 32 kB private cache) are divided by this factor to match the

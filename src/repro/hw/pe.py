@@ -75,7 +75,9 @@ def auto_group_size(
     avg_deg = max(1.0, graph.avg_degree())
     long_segs = max(1, ceil(avg_deg / config.long_segment_len))
     short_segs = max(1, ceil((avg_deg / 4) / config.short_segment_len))
-    items_per_op = max(1, min(long_segs, ceil(short_segs / config.max_load) * long_segs))
+    items_per_op = max(
+        1, min(long_segs, ceil(short_segs / config.max_load) * long_segs)
+    )
     ops_per_level = [
         sched.num_ops for plan in plans for sched in plan.levels
     ]

@@ -89,9 +89,13 @@ def _esu(
             stats.embeddings_materialized += 1
             visit(sub)
             return
-        ext = set(ext)
-        while ext:
-            w = ext.pop()
+        # Process candidates in sorted order: `set.pop()` removes an
+        # *arbitrary* element, which made the visit sequence an accident
+        # of hash-table layout (DET003).  The ESU guarantee (every
+        # connected k-set exactly once) holds for any processing order,
+        # so sorting pins the enumeration order without changing counts.
+        pending = sorted(ext)
+        for idx, w in enumerate(pending):
             # Exclusive neighbors: adjacent to w, greater than root, not
             # already adjacent to (or in) the current subgraph.
             excl = {
@@ -101,7 +105,7 @@ def _esu(
                 and u not in sub
                 and all(u not in neighbors[s] and u != s for s in sub)
             }
-            extend(sub + (w,), ext | excl, root)
+            extend(sub + (w,), set(pending[idx + 1:]) | excl, root)
 
     for root in range(n):
         stats.embeddings_materialized += 1  # the size-1 embedding

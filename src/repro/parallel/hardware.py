@@ -19,7 +19,7 @@ sharded model relates to the default single-chip model.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.graph.csr import CSRGraph
 from repro.hw.chip import ChipResult, merge_chip_results, run_chip
@@ -49,7 +49,7 @@ def resolve_shards(
     return shard_roots(graph, root_list, num_shards)
 
 
-def _chip_worker(payload, shard):
+def _chip_worker(payload: dict[str, Any], shard: list[int]) -> ChipResult:
     return run_chip(
         payload["graph"],
         payload["plans"],
@@ -94,7 +94,7 @@ def sharded_run_chip(
     return merge_chip_results(results)
 
 
-def _software_worker(payload, shard):
+def _software_worker(payload: dict[str, Any], shard: list[int]) -> Any:
     from repro.sw.miner import SoftwareMiner
 
     miner = SoftwareMiner(
@@ -107,13 +107,13 @@ def _software_worker(payload, shard):
 def sharded_software_run(
     graph: CSRGraph,
     plans: Sequence[ExecutionPlan],
-    config,
+    config: Any,
     memcfg: MemoryConfig | None,
     *,
     roots: Iterable[int] | None,
     jobs: int = 1,
     num_shards: int | None = None,
-):
+) -> Any:
     """Sharded software-miner model (same contract as the chip model)."""
     from repro.sw.miner import SoftwareMiner, merge_software_results
 

@@ -12,7 +12,7 @@ simulator model whose decomposition is part of its timing semantics.)
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Any, Iterable
 
 from repro.graph.csr import CSRGraph
 from repro.mining import engine
@@ -27,19 +27,25 @@ __all__ = [
 ]
 
 
-def _count_worker(payload, chunk):
+def _count_worker(
+    payload: dict[str, Any], chunk: list[int]
+) -> list[tuple[int, int]]:
     return list(
         engine.per_root_counts(payload["graph"], payload["plan"], roots=chunk)
     )
 
 
-def _list_worker(payload, chunk):
+def _list_worker(
+    payload: dict[str, Any], chunk: list[int]
+) -> list[tuple[int, ...]]:
     return engine.list_embeddings(
         payload["graph"], payload["plan"], roots=chunk, limit=payload["limit"]
     )
 
 
-def _chunked(graph, roots, jobs):
+def _chunked(
+    graph: CSRGraph, roots: Iterable[int] | None, jobs: int
+) -> list[list[int]]:
     root_list = list(roots) if roots is not None else None
     n = graph.num_vertices if root_list is None else len(root_list)
     return shard_roots(graph, root_list, engine_num_chunks(n, jobs))

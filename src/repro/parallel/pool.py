@@ -53,7 +53,9 @@ def pool_unavailable_reason() -> str | None:
     return _POOL_FAILURE
 
 
-def _serial(worker, payload, shards):
+def _serial(
+    worker: Callable[[Any, Any], Any], payload: Any, shards: Sequence[Any]
+) -> list[Any]:
     return [worker(payload, shard) for shard in shards]
 
 

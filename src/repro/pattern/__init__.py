@@ -10,7 +10,12 @@ group — the generic plan format of section 2.1 of the paper, which both the
 reference mining engine and the hardware simulators execute.
 """
 
-from repro.pattern.pattern import Pattern, named_pattern, PATTERN_NAMES
+from repro.pattern.pattern import (
+    Pattern,
+    all_named_patterns,
+    named_pattern,
+    PATTERN_NAMES,
+)
 from repro.pattern.automorphism import automorphisms, automorphism_count, orbits
 from repro.pattern.symmetry import symmetry_restrictions, Restriction
 from repro.pattern.plan import ExecutionPlan, LevelSchedule, SetOp, OpKind
@@ -31,6 +36,7 @@ from repro.pattern.serialize import (
 
 __all__ = [
     "Pattern",
+    "all_named_patterns",
     "named_pattern",
     "PATTERN_NAMES",
     "automorphisms",

@@ -212,4 +212,5 @@ def _motif_name(pattern: Pattern) -> str:
     canon = _canonical_form(pattern)
     if canon in _KNOWN_SHAPES:
         return _KNOWN_SHAPES[canon]
-    return f"{pattern.num_vertices}motif-e{pattern.num_edges}-{hash(canon) & 0xffff:04x}"
+    tag = hash(canon) & 0xFFFF
+    return f"{pattern.num_vertices}motif-e{pattern.num_edges}-{tag:04x}"

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-__all__ = ["Pattern", "named_pattern", "PATTERN_NAMES"]
+__all__ = ["Pattern", "named_pattern", "all_named_patterns", "PATTERN_NAMES"]
 
 
 class Pattern:
@@ -109,7 +109,9 @@ class Pattern:
         the old vertex ``order[i]``.
         """
         if sorted(order) != list(range(self._n)):
-            raise ValueError(f"order {order!r} is not a permutation of 0..{self._n - 1}")
+            raise ValueError(
+                f"order {order!r} is not a permutation of 0..{self._n - 1}"
+            )
         inv = [0] * self._n
         for new, old in enumerate(order):
             inv[old] = new
@@ -162,6 +164,13 @@ _NAMED: dict[str, Pattern] = {
     "star3": Pattern(4, [(0, 1), (0, 2), (0, 3)]),
     "house": Pattern(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 4)]),
 }
+
+
+def all_named_patterns() -> dict[str, Pattern]:
+    """Every single-pattern benchmark by name (``3mc`` excluded: it is a
+    multi-pattern job).  Used by ``repro lint-plan --all`` and CI to
+    statically verify the whole built-in plan corpus."""
+    return dict(_NAMED)
 
 
 def named_pattern(name: str) -> Pattern:

@@ -53,7 +53,9 @@ def subtract(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return np.setdiff1d(a, b, assume_unique=True)
 
 
-def apply_op(kind: OpKind, source: np.ndarray | None, operand: np.ndarray) -> np.ndarray:
+def apply_op(
+    kind: OpKind, source: np.ndarray | None, operand: np.ndarray
+) -> np.ndarray:
     """Execute one plan op functionally.
 
     ``INIT_COPY`` returns the operand (the fetched neighbor list);

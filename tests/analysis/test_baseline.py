@@ -1,0 +1,108 @@
+"""Baseline suppression file: round-trip, partitioning, fingerprints."""
+
+import json
+
+import pytest
+
+from repro.analysis import lint_source, load_baseline, write_baseline
+from repro.analysis.baseline import Baseline, partition
+from repro.analysis.findings import Finding, Severity, fingerprint_all
+
+SNIPPET = (
+    "import random\n"
+    "def pick(items):\n"
+    "    return random.choice(items)\n"
+)
+
+
+def findings_for(src=SNIPPET):
+    return lint_source(src, path="pkg/mod.py", module="repro.mining.snippet")
+
+
+def test_round_trip_suppresses_the_snapshotted_findings(tmp_path):
+    findings = findings_for()
+    assert findings, "fixture must produce findings"
+    path = tmp_path / "baseline.json"
+    write_baseline(path, findings)
+
+    baseline = load_baseline(path)
+    assert len(baseline) == len(findings)
+    fresh, suppressed = partition(findings, baseline)
+    assert fresh == []
+    assert len(suppressed) == len(findings)
+
+
+def test_new_findings_stay_fresh_against_old_baseline(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, findings_for())
+    two = findings_for(SNIPPET + "T = random.random()\n")
+    fresh, suppressed = partition(two, load_baseline(path))
+    assert len(suppressed) == 1
+    assert len(fresh) == 1
+    assert "random.random" in fresh[0].message
+
+
+def test_fingerprint_survives_line_moves():
+    moved = "# a new leading comment\n\n" + SNIPPET
+    fp_before = {fp for _, fp in fingerprint_all(findings_for())}
+    fp_after = {fp for _, fp in fingerprint_all(findings_for(moved))}
+    assert fp_before == fp_after
+
+
+def test_identical_lines_get_distinct_occurrence_fingerprints():
+    twice = SNIPPET + "def pick2(items):\n    return random.choice(items)\n"
+    pairs = fingerprint_all(findings_for(twice))
+    assert len(pairs) == 2
+    assert len({fp for _, fp in pairs}) == 2
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    baseline = load_baseline(tmp_path / "nope.json")
+    assert len(baseline) == 0
+
+
+def test_malformed_baseline_raises(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    with pytest.raises(ValueError, match="not valid JSON"):
+        load_baseline(path)
+    path.write_text(json.dumps({"version": 99, "entries": {}}))
+    with pytest.raises(ValueError, match="version"):
+        load_baseline(path)
+
+
+def test_written_file_is_stable_and_documented(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, findings_for())
+    data = json.loads(path.read_text())
+    assert data["version"] == 1
+    for entry in data["entries"].values():
+        assert {"rule", "path", "snippet", "message", "reason"} <= set(entry)
+    # Re-writing the same findings produces byte-identical output.
+    first = path.read_text()
+    write_baseline(path, findings_for())
+    assert path.read_text() == first
+
+
+def test_empty_baseline_object_suppresses_nothing():
+    fresh, suppressed = partition(findings_for(), Baseline())
+    assert suppressed == []
+    assert fresh
+
+
+def test_committed_baseline_entries_are_documented():
+    """Every committed suppression carries a real (non-TODO) reason."""
+    from pathlib import Path
+
+    import repro
+
+    repo_root = Path(repro.__file__).resolve().parent.parent.parent
+    path = repo_root / ".repro-lint-baseline.json"
+    if not path.exists():
+        pytest.skip("not running from a repo checkout")
+    data = json.loads(path.read_text())
+    for fp, entry in data["entries"].items():
+        assert entry["reason"], f"baseline entry {fp} lacks a reason"
+        assert "TODO" not in entry["reason"], (
+            f"baseline entry {fp} has an undocumented reason"
+        )

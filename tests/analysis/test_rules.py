@@ -1,0 +1,320 @@
+"""Each Tier-A rule fires on its trigger fixture exactly once, and the
+clean fixture produces zero findings."""
+
+import pytest
+
+from repro.analysis import lint_source
+
+
+def rules_fired(source, module="repro.mining.snippet"):
+    return [f.rule for f in lint_source(source, module=module)]
+
+
+# ----------------------------------------------------------------------
+# DET001 — unseeded randomness
+# ----------------------------------------------------------------------
+
+
+def test_det001_global_random_module():
+    src = (
+        "import random\n"
+        "def pick(items):\n"
+        "    return random.choice(items)\n"
+    )
+    assert rules_fired(src) == ["DET001"]
+
+
+def test_det001_from_import():
+    src = (
+        "from random import shuffle\n"
+        "def mix(items):\n"
+        "    shuffle(items)\n"
+    )
+    assert rules_fired(src) == ["DET001"]
+
+
+def test_det001_numpy_legacy_global():
+    src = (
+        "import numpy as np\n"
+        "def noise(n):\n"
+        "    return np.random.rand(n)\n"
+    )
+    assert rules_fired(src) == ["DET001"]
+
+
+def test_det001_unseeded_default_rng():
+    src = (
+        "import numpy as np\n"
+        "def make_rng():\n"
+        "    return np.random.default_rng()\n"
+    )
+    assert rules_fired(src) == ["DET001"]
+
+
+def test_det001_seeded_rng_is_clean():
+    src = (
+        "import numpy as np\n"
+        "import random\n"
+        "def make(seed):\n"
+        "    return np.random.default_rng(seed), random.Random(seed)\n"
+    )
+    assert rules_fired(src) == []
+
+
+# ----------------------------------------------------------------------
+# DET002 — wall-clock reads
+# ----------------------------------------------------------------------
+
+
+def test_det002_time_read_in_simulation_path():
+    src = (
+        "import time\n"
+        "def stamp():\n"
+        "    return time.time()\n"
+    )
+    assert rules_fired(src, module="repro.hw.snippet") == ["DET002"]
+
+
+def test_det002_datetime_now():
+    src = (
+        "from datetime import datetime\n"
+        "def stamp():\n"
+        "    return datetime.now()\n"
+    )
+    assert rules_fired(src, module="repro.sw.snippet") == ["DET002"]
+
+
+def test_det002_out_of_scope_module_not_flagged():
+    src = "import time\nT = time.time()\n"
+    assert rules_fired(src, module="repro.graph.snippet") == []
+
+
+# ----------------------------------------------------------------------
+# DET003 — unordered-set iteration
+# ----------------------------------------------------------------------
+
+
+def test_det003_for_over_set_literal():
+    src = (
+        "def walk():\n"
+        "    for v in {3, 1, 2}:\n"
+        "        yield v\n"
+    )
+    assert rules_fired(src) == ["DET003"]
+
+
+def test_det003_set_pop():
+    src = (
+        "def drain(ext: set[int]) -> list[int]:\n"
+        "    out = []\n"
+        "    while ext:\n"
+        "        out.append(ext.pop())\n"
+        "    return out\n"
+    )
+    assert rules_fired(src) == ["DET003"]
+
+
+def test_det003_list_materialization_of_set():
+    src = (
+        "def order(items):\n"
+        "    seen = set(items)\n"
+        "    return list(seen)\n"
+    )
+    assert rules_fired(src) == ["DET003"]
+
+
+def test_det003_sorted_iteration_is_clean():
+    src = (
+        "def walk(ext: set[int]):\n"
+        "    for v in sorted(ext):\n"
+        "        yield v\n"
+        "    return len(ext), sum(ext)\n"
+    )
+    assert rules_fired(src) == []
+
+
+def test_det003_not_applied_outside_hot_paths():
+    src = "def walk():\n    return [v for _ in {1, 2} for v in (1,)]\n"
+    assert rules_fired(src, module="repro.graph.snippet") == []
+
+
+# ----------------------------------------------------------------------
+# PAR001 — worker-pool dispatch
+# ----------------------------------------------------------------------
+
+
+def test_par001_lambda_to_run_shards():
+    src = (
+        "from repro.parallel.pool import run_shards\n"
+        "def go(payload, shards, jobs):\n"
+        "    return run_shards(lambda p, s: s, payload, shards, jobs)\n"
+    )
+    assert rules_fired(src, module="repro.parallel.snippet") == ["PAR001"]
+
+
+def test_par001_nested_function_to_run_shards():
+    src = (
+        "from repro.parallel.pool import run_shards\n"
+        "def go(payload, shards, jobs):\n"
+        "    def worker(p, s):\n"
+        "        return s\n"
+        "    return run_shards(worker, payload, shards, jobs)\n"
+    )
+    assert rules_fired(src, module="repro.parallel.snippet") == ["PAR001"]
+
+
+def test_par001_lambda_to_executor_map():
+    src = (
+        "def go(executor, shards):\n"
+        "    return list(executor.map(lambda s: s, shards))\n"
+    )
+    assert rules_fired(src, module="repro.parallel.snippet") == ["PAR001"]
+
+
+def test_par001_module_level_worker_is_clean():
+    src = (
+        "from repro.parallel.pool import run_shards\n"
+        "def worker(p, s):\n"
+        "    return s\n"
+        "def go(payload, shards, jobs):\n"
+        "    return run_shards(worker, payload, shards, jobs)\n"
+    )
+    assert rules_fired(src, module="repro.parallel.snippet") == []
+
+
+# ----------------------------------------------------------------------
+# CACHE001 — cache schema-hash escapes
+# ----------------------------------------------------------------------
+
+
+def test_cache001_repr_false_field():
+    src = (
+        "from dataclasses import dataclass, field\n"
+        "@dataclass(frozen=True)\n"
+        "class ThingConfig:\n"
+        "    knob: int = field(default=3, repr=False)\n"
+    )
+    assert rules_fired(src, module="repro.hw.snippet") == ["CACHE001"]
+
+
+def test_cache001_custom_repr():
+    src = (
+        "from dataclasses import dataclass\n"
+        "@dataclass(frozen=True)\n"
+        "class ThingConfig:\n"
+        "    knob: int = 3\n"
+        "    def __repr__(self):\n"
+        "        return 'ThingConfig()'\n"
+    )
+    assert rules_fired(src, module="repro.sw.snippet") == ["CACHE001"]
+
+
+def test_cache001_plain_config_is_clean():
+    src = (
+        "from dataclasses import dataclass\n"
+        "@dataclass(frozen=True)\n"
+        "class ThingConfig:\n"
+        "    knob: int = 3\n"
+    )
+    assert rules_fired(src, module="repro.hw.snippet") == []
+
+
+# ----------------------------------------------------------------------
+# HYG001 / HYG002 — hygiene
+# ----------------------------------------------------------------------
+
+
+def test_hyg001_mutable_default():
+    src = "def add(x, acc=[]):\n    acc.append(x)\n    return acc\n"
+    assert rules_fired(src) == ["HYG001"]
+
+
+def test_hyg002_bare_except():
+    src = (
+        "def safe(fn):\n"
+        "    try:\n"
+        "        return fn()\n"
+        "    except:\n"
+        "        return None\n"
+    )
+    assert rules_fired(src) == ["HYG002"]
+
+
+# ----------------------------------------------------------------------
+# engine mechanics
+# ----------------------------------------------------------------------
+
+
+def test_noqa_pragma_suppresses_one_line():
+    src = (
+        "import random\n"
+        "def pick(items):\n"
+        "    return random.choice(items)  # noqa: DET001\n"
+    )
+    assert rules_fired(src) == []
+
+
+def test_noqa_other_rule_does_not_suppress():
+    src = (
+        "import random\n"
+        "def pick(items):\n"
+        "    return random.choice(items)  # noqa: DET003\n"
+    )
+    assert rules_fired(src) == ["DET001"]
+
+
+def test_syntax_error_reported_as_finding():
+    findings = lint_source("def broken(:\n", module="repro.mining.snippet")
+    assert [f.rule for f in findings] == ["SYNTAX"]
+
+
+def test_clean_fixture_has_zero_findings():
+    src = (
+        "import numpy as np\n"
+        "from dataclasses import dataclass\n"
+        "\n"
+        "@dataclass(frozen=True)\n"
+        "class SnippetConfig:\n"
+        "    seed: int = 7\n"
+        "\n"
+        "def walk(graph, roots: set[int]):\n"
+        "    rng = np.random.default_rng(7)\n"
+        "    total = 0\n"
+        "    for root in sorted(roots):\n"
+        "        total += int(rng.integers(10))\n"
+        "    return total\n"
+    )
+    for module in ("repro.mining.x", "repro.hw.x", "repro.parallel.x"):
+        assert rules_fired(src, module=module) == []
+
+
+def test_rule_catalog_ids_unique_and_documented():
+    from repro.analysis import rule_catalog
+
+    rules = rule_catalog()
+    ids = [r.id for r in rules]
+    assert len(ids) == len(set(ids))
+    assert {"DET001", "DET002", "DET003", "PAR001", "CACHE001",
+            "HYG001", "HYG002"} <= set(ids)
+    assert all(r.summary for r in rules)
+
+
+def test_repro_package_lints_clean_against_baseline(monkeypatch):
+    """The committed tree has no findings outside the reviewed baseline."""
+    from repro.analysis import lint_paths, load_baseline
+    from repro.analysis.baseline import partition
+    from repro.analysis.codelint import default_lint_root
+
+    root = default_lint_root()
+    repo_root = root.parent.parent
+    baseline_file = repo_root / ".repro-lint-baseline.json"
+    if not baseline_file.exists():
+        pytest.skip("not running from a repo checkout")
+    # Finding paths (and hence baseline fingerprints) are cwd-relative;
+    # anchor at the repo root exactly like CI does.
+    monkeypatch.chdir(repo_root)
+    findings = lint_paths([root])
+    fresh, _suppressed = partition(findings, load_baseline(baseline_file))
+    assert fresh == [], "\n".join(
+        f"{f.location()}: {f.rule}: {f.message}" for f in fresh
+    )

@@ -1,0 +1,56 @@
+"""Regression: the ESU walk must enumerate in a deterministic order.
+
+The original implementation drained the extension frontier with
+``set.pop()``, whose removal order is an accident of hash-table layout
+(DET003); the fix processes candidates in sorted order.  Counts were
+never affected (ESU visits every connected k-set exactly once for any
+order), but the visit *sequence* is now part of the deterministic
+surface, so pin it.
+"""
+
+from repro.graph.builders import from_edges
+from repro.mining.oblivious import ObliviousStats, _esu, census_oblivious
+
+
+def sample_graph():
+    # Triangle 0-1-2 with a tail 3 and a pendant 4 on the tail.
+    return from_edges([(0, 1), (0, 2), (1, 2), (1, 3), (3, 4)])
+
+
+def visits(graph, k):
+    seen = []
+    _esu(graph, k, seen.append, ObliviousStats())
+    return seen
+
+
+def test_esu_visit_sequence_is_reproducible():
+    graph = sample_graph()
+    assert visits(graph, 3) == visits(graph, 3)
+
+
+def test_esu_visit_sequence_is_the_documented_order():
+    # Roots ascend; within a subtree the frontier is processed in sorted
+    # order.  This literal sequence is now part of the contract.
+    assert visits(sample_graph(), 3) == [
+        (0, 1, 2),
+        (0, 1, 3),
+        (1, 2, 3),
+        (1, 3, 4),
+    ]
+
+
+def test_esu_still_enumerates_every_connected_set_once():
+    as_sets = [frozenset(v) for v in visits(sample_graph(), 3)]
+    assert len(as_sets) == len(set(as_sets))
+    assert set(as_sets) == {
+        frozenset({0, 1, 2}),
+        frozenset({0, 1, 3}),
+        frozenset({1, 2, 3}),
+        frozenset({1, 3, 4}),
+    }
+
+
+def test_census_unchanged_by_the_ordering_fix():
+    census = census_oblivious(sample_graph(), 3)
+    # 1 triangle + 3 wedges, classified by canonical signature.
+    assert sorted(census.values()) == [1, 3]
