@@ -8,6 +8,7 @@ DET002     error     wall-clock reads inside simulation/mining/bench paths
 DET003     error     order-sensitive iteration over unordered sets in hot paths
 PAR001     error     lambda / nested-function handed to the worker pool
 CACHE001   error     config dataclass field escaping the cache schema hash
+ARCH001    error     simulator entry point imported around the backend registry
 HYG001     warning   mutable default argument
 HYG002     warning   bare ``except:``
 =========  ========  ==========================================================
@@ -41,6 +42,7 @@ HOT_PATH_PACKAGES = (
     "repro.parallel",
     "repro.sw",
     "repro.setops",
+    "repro.core",
 )
 
 #: Packages where wall-clock reads would leak into modelled results
@@ -419,6 +421,57 @@ CACHE001 = register(
         summary="config dataclass field escapes the cache schema hash",
         scope=("repro.hw", "repro.sw"),
         check=_check_cache001,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# ARCH001 — simulator entry points imported around the backend registry
+# ----------------------------------------------------------------------
+
+#: Raw executor entry points that must only be reached through
+#: ``repro.core.get_backend(...)`` — direct use bypasses the unified
+#: result contract, summary formatting, and cache-key derivation.
+_GUARDED_ENTRY_POINTS = {"run_chip", "simulate_software", "SoftwareMiner"}
+
+#: Modules allowed to touch the raw entry points: the backend layer
+#: itself, and the modules that define them.
+_ARCH001_ALLOWED = ("repro.hw.chip", "repro.sw.miner")
+
+
+def _check_arch001(tree: ast.Module, ctx: ModuleContext) -> Iterator[Finding]:
+    module = ctx.module or ""
+    if module.startswith("repro.core") or module in _ARCH001_ALLOWED:
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ImportFrom):
+            continue
+        # Only repro-internal sources: absolute `repro.*` or any
+        # relative import (which always resolves inside the package).
+        if node.level == 0 and not (node.module or "").startswith("repro"):
+            continue
+        for alias in node.names:
+            if alias.name not in _GUARDED_ENTRY_POINTS:
+                continue
+            found = ctx.finding(
+                ARCH001,
+                node,
+                f"direct import of `{alias.name}`: execution must go "
+                "through the backend registry "
+                "(`repro.core.get_backend(...)`) so results, cache keys, "
+                "and merges follow one contract (docs/API.md)",
+            )
+            if found is not None:
+                yield found
+
+
+ARCH001 = register(
+    Rule(
+        id="ARCH001",
+        severity=Severity.ERROR,
+        summary="simulator entry point imported around the backend registry",
+        scope=("repro",),
+        check=_check_arch001,
     )
 )
 

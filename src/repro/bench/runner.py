@@ -1,4 +1,4 @@
-"""Paired-design experiment runner with layered result caching.
+"""Backend-generic experiment runner with layered result caching.
 
 Several figures share cells (e.g. Figure 9's single-PE baseline also
 anchors Figure 11's ablation), and whole sweeps are re-run across
@@ -6,14 +6,18 @@ processes, so simulation results are memoized twice:
 
 1. an **in-process memo** (same object returned for repeated requests
    within one run), and
-2. the **persistent disk cache** (:mod:`repro.cache`): keyed on the full
-   graph contents, workload, configuration, schedule, root-array hash,
-   and execution model, so a warm ``python -m repro.bench`` sweep
-   performs zero simulator calls.
+2. the **persistent disk cache** (:mod:`repro.cache`): keyed by
+   :meth:`repro.core.backend.Backend.cache_key` — backend name and
+   version, full graph contents, workload, explicit configuration
+   signature, schedule, root-array hash, and execution model — so a
+   warm ``python -m repro.bench`` sweep performs zero simulator calls.
 
-``configure(jobs=..., disk_cache=...)`` sets process-wide defaults (the
-CLI's ``--jobs`` / ``--no-cache`` flags land here); ``runner_stats()``
-reports hit/miss/simulate counters for the run report.
+Every backend runs through the same :func:`run_backend_cached` path;
+``run_cached`` (configuration-dispatched) and ``run_software_cached``
+are thin front ends over it.  ``configure(jobs=..., disk_cache=...)``
+sets process-wide defaults (the CLI's ``--jobs`` / ``--no-cache`` flags
+land here); ``runner_stats()`` reports hit/miss/simulate counters for
+the run report.
 """
 
 from __future__ import annotations
@@ -21,25 +25,22 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Iterable
 
-from repro.cache import (
-    default_cache,
-    graph_fingerprint,
-    make_key,
-    roots_fingerprint,
-)
+from repro.cache import default_cache
+from repro.core.backend import Backend, backend_for_config, get_backend
+from repro.core.result import RunResult
 from repro.graph.csr import CSRGraph
 from repro.hw.api import (
     FingersConfig,
     FlexMinerConfig,
     MemoryConfig,
     SimResult,
-    simulate,
 )
 
 __all__ = [
     "PairResult",
     "RunnerStats",
     "run_pair",
+    "run_backend_cached",
     "run_cached",
     "run_software_cached",
     "clear_cache",
@@ -82,7 +83,7 @@ def reset_stats() -> None:
 
 
 def configure(*, jobs=_UNSET, disk_cache=_UNSET) -> None:
-    """Set process-wide defaults for every subsequent ``run_cached``.
+    """Set process-wide defaults for every subsequent cached run.
 
     ``jobs=None`` restores the single-chip model; an integer selects the
     sharded model on that many worker processes.  ``disk_cache=False``
@@ -109,25 +110,7 @@ class PairResult:
         return self.ours.speedup_over(self.baseline)
 
 
-def _key(graph, workload, config, memory, roots_list, schedule, jobs) -> str:
-    # The execution model is part of the result's identity: the sharded
-    # model's cycle count differs from the single-chip model's, but does
-    # NOT depend on the worker count (docs/PARALLELISM.md), so the tag
-    # only distinguishes sharded vs. unsharded.
-    model = "single-chip" if jobs is None else "sharded"
-    return make_key(
-        kind="simresult",
-        graph=graph_fingerprint(graph),
-        workload=str(workload),
-        config=config,
-        memory=memory,
-        roots=roots_fingerprint(roots_list),
-        schedule=schedule,
-        model=model,
-    )
-
-
-def _cached(key: str, compute, expected_type: type, use_disk: bool):
+def _cached(key: str, compute, use_disk: bool) -> RunResult:
     """Shared memo + disk lookup with stats accounting."""
     global _STATS
     if key in _MEMO:
@@ -135,7 +118,7 @@ def _cached(key: str, compute, expected_type: type, use_disk: bool):
         return _MEMO[key]
     if use_disk:
         hit, value = default_cache().get(key)
-        if hit and isinstance(value, expected_type):
+        if hit and isinstance(value, RunResult):
             _STATS = replace(_STATS, disk_hits=_STATS.disk_hits + 1)
             _MEMO[key] = value
             return value
@@ -145,6 +128,52 @@ def _cached(key: str, compute, expected_type: type, use_disk: bool):
     if use_disk:
         default_cache().put(key, result)
     return result
+
+
+def run_backend_cached(
+    backend: Backend | str,
+    graph: CSRGraph,
+    graph_name: str,
+    workload,
+    config=None,
+    *,
+    memory: MemoryConfig | None = None,
+    roots: Iterable[int] | None = None,
+    schedule: str = "dynamic",
+    jobs: int | None = None,
+    disk: bool | None = None,
+) -> RunResult:
+    """Memoized ``backend.run(...)`` (memo + disk layers) for any backend.
+
+    ``graph_name`` is only a label; the cache key uses the graph's full
+    content fingerprint (via :meth:`Backend.cache_key`), so renamed or
+    regenerated-but-identical graphs behave correctly.  ``jobs``/``disk``
+    default to the process-wide settings installed by :func:`configure`.
+    The execution model is part of the result's identity: the sharded
+    model's cycle count differs from the single-chip model's, but does
+    NOT depend on the worker count (docs/PARALLELISM.md), so the key
+    only distinguishes sharded vs. unsharded.
+    """
+    if isinstance(backend, str):
+        backend = get_backend(backend)
+    if config is None:
+        config = backend.default_config()
+    roots_list = list(roots) if roots is not None else None
+    eff_jobs = jobs if jobs is not None else _DEFAULT_JOBS
+    use_disk = _DISK_ENABLED if disk is None else disk
+    key = backend.cache_key(
+        graph, workload, config,
+        memory=memory, roots=roots_list, schedule=schedule,
+        model="single-chip" if eff_jobs is None else "sharded",
+    )
+    return _cached(
+        key,
+        lambda: backend.run(
+            graph, workload, config,
+            memory=memory, roots=roots_list, schedule=schedule, jobs=eff_jobs,
+        ),
+        use_disk,
+    )
 
 
 def run_cached(
@@ -159,25 +188,11 @@ def run_cached(
     jobs: int | None = None,
     disk: bool | None = None,
 ) -> SimResult:
-    """Memoized :func:`repro.hw.api.simulate` (memo + disk layers).
-
-    ``graph_name`` is only a label; the cache key uses the graph's full
-    content fingerprint, so renamed or regenerated-but-identical graphs
-    behave correctly.  ``jobs``/``disk`` default to the process-wide
-    settings installed by :func:`configure`.
-    """
-    roots_list = list(roots) if roots is not None else None
-    eff_jobs = jobs if jobs is not None else _DEFAULT_JOBS
-    use_disk = _DISK_ENABLED if disk is None else disk
-    key = _key(graph, workload, config, memory, roots_list, schedule, eff_jobs)
-    return _cached(
-        key,
-        lambda: simulate(
-            graph, workload, config,
-            memory=memory, roots=roots_list, schedule=schedule, jobs=eff_jobs,
-        ),
-        SimResult,
-        use_disk,
+    """Memoized :func:`repro.hw.api.simulate`: the backend is selected by
+    the configuration's type through the registry."""
+    return run_backend_cached(
+        backend_for_config(config), graph, graph_name, workload, config,
+        memory=memory, roots=roots, schedule=schedule, jobs=jobs, disk=disk,
     )
 
 
@@ -190,29 +205,12 @@ def run_software_cached(
     *,
     jobs: int | None = None,
     disk: bool | None = None,
-):
-    """Memoized :func:`repro.sw.simulate_software` — same cache layers,
-    key scheme, and stats accounting as :func:`run_cached`."""
-    from repro.sw import SoftwareResult, simulate_software
-
-    roots_list = list(roots) if roots is not None else None
-    eff_jobs = jobs if jobs is not None else _DEFAULT_JOBS
-    use_disk = _DISK_ENABLED if disk is None else disk
-    key = make_key(
-        kind="swresult",
-        graph=graph_fingerprint(graph),
-        workload=str(workload),
-        config=config,
-        roots=roots_fingerprint(roots_list),
-        model="single-chip" if eff_jobs is None else "sharded",
-    )
-    return _cached(
-        key,
-        lambda: simulate_software(
-            graph, workload, config, roots=roots_list, jobs=eff_jobs
-        ),
-        SoftwareResult,
-        use_disk,
+) -> RunResult:
+    """Memoized software-model run — same cache layers, key scheme, and
+    stats accounting as :func:`run_cached`."""
+    return run_backend_cached(
+        "software", graph, graph_name, workload, config,
+        roots=roots, jobs=jobs, disk=disk,
     )
 
 

@@ -6,8 +6,9 @@ Subcommands
 ``plan``       Print a pattern's compiled execution plan.
 ``count``      Count (or list) embeddings with the reference engine.
 ``motifs``     k-motif census.
-``simulate``   Run one job on FINGERS, FlexMiner, or the software model.
-``validate``   Cross-check every executor's count on one job.
+``simulate``   Run one job on any registered backend (``--design``).
+``backends``   List registered execution backends and their config types.
+``validate``   Cross-check every backend's count on one job.
 ``compare``    Both accelerator designs on one job, with the speedup.
 ``bench``      Run one named experiment (table1 ... fig13, table3,
                ablation-*) and print the paper-shaped output.
@@ -117,12 +118,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("k", type=int, choices=[2, 3, 4, 5])
     _add_graph_args(p)
 
+    from repro.core.backend import backend_names
+
     p = sub.add_parser("simulate", help="simulate one design")
     p.add_argument("pattern")
     _add_graph_args(p)
     p.add_argument(
-        "--design", choices=["fingers", "flexminer", "software"],
-        default="fingers",
+        "--design", choices=backend_names(), default="fingers",
     )
     p.add_argument("--pes", type=int, default=None, help="PE / core count")
     p.add_argument("--ius", type=int, default=24)
@@ -160,6 +162,11 @@ def build_parser() -> argparse.ArgumentParser:
         ],
     )
     _add_parallel_args(p)
+
+    sub.add_parser(
+        "backends",
+        help="list registered execution backends (repro.core registry)",
+    )
 
     p = sub.add_parser(
         "cache", help="inspect or clear the persistent result cache"
@@ -269,36 +276,13 @@ def _cmd_motifs(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
+    from repro.bench.runner import run_backend_cached
+    from repro.core.backend import get_backend
+
+    backend = get_backend(args.design)
     graph = _load_graph(args)
     roots = list(range(0, graph.num_vertices, args.root_stride))
-    if args.design == "software":
-        from repro.bench.runner import run_software_cached
-        from repro.sw import SoftwareConfig
-
-        cfg = SoftwareConfig(num_cores=args.pes or 8)
-        res = run_software_cached(
-            graph, _graph_label(args), args.pattern, cfg, roots,
-            jobs=args.jobs, disk=not args.no_cache,
-        )
-        print(f"design:  {res.design}")
-        print(f"count:   {res.count:,}")
-        print(f"cycles:  {res.cycles:,.0f}")
-        print(f"steals:  {res.total_steals}")
-        print(f"imbalance: {res.load_imbalance:.2f}")
-        return 0
-
-    from repro.bench.runner import run_cached
-    from repro.hw.api import FingersConfig, FlexMinerConfig, simulate
-    from repro.hw.trace import Tracer, render_gantt
-
-    if args.design == "fingers":
-        config = FingersConfig(
-            num_pes=args.pes or 20,
-            num_ius=args.ius,
-            task_group_size=args.group_size,
-        )
-    else:
-        config = FlexMinerConfig(num_pes=args.pes or 40)
+    config = backend.config_from_args(args)
     if args.trace:
         # Tracing records the actual event interleaving: unsharded,
         # uncached by design.
@@ -306,27 +290,38 @@ def _cmd_simulate(args) -> int:
             print("error: --trace and --jobs are mutually exclusive",
                   file=sys.stderr)
             return 2
+        if not backend.supports_trace:
+            print(f"error: the {backend.name} backend does not support "
+                  "--trace", file=sys.stderr)
+            return 2
+        from repro.hw.trace import Tracer, render_gantt
+
         tracer = Tracer()
-        res = simulate(
+        res = backend.run(
             graph, args.pattern, config,
             roots=roots, schedule=args.schedule, tracer=tracer,
         )
-    else:
-        tracer = None
-        res = run_cached(
-            graph, _graph_label(args), args.pattern, config, None, roots,
-            schedule=args.schedule, jobs=args.jobs, disk=not args.no_cache,
-        )
-    print(f"design:  {res.chip.design} ({res.chip.num_pes} PEs)")
-    print(f"count:   {res.count:,}")
-    print(f"cycles:  {res.cycles:,.0f}")
-    print(f"tasks:   {res.chip.combined.tasks:,}")
-    print(f"imbalance: {res.chip.load_imbalance:.2f}")
-    print(f"shared-cache miss rate: {100 * res.chip.shared_cache.miss_rate:.1f}%")
-    if res.chip.num_shards > 1:
-        print(f"shards:  {res.chip.num_shards} (sharded model)")
-    if tracer is not None:
+        for line in backend.summary(res):
+            print(line)
         print(render_gantt(tracer))
+        return 0
+    res = run_backend_cached(
+        backend, graph, _graph_label(args), args.pattern, config,
+        roots=roots, schedule=args.schedule, jobs=args.jobs,
+        disk=not args.no_cache,
+    )
+    for line in backend.summary(res):
+        print(line)
+    return 0
+
+
+def _cmd_backends(args) -> int:
+    from repro.core.backend import backend_names, get_backend
+
+    for name in backend_names():
+        backend = get_backend(name)
+        print(f"{name:12s} config={backend.config_type.__name__:16s} "
+              f"key=v{backend.cache_key_version}  {backend.description}")
     return 0
 
 
@@ -520,6 +515,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "compare": _cmd_compare,
     "bench": _cmd_bench,
+    "backends": _cmd_backends,
     "cache": _cmd_cache,
     "lint": _cmd_lint,
     "lint-plan": _cmd_lint_plan,

@@ -1,0 +1,220 @@
+"""The four built-in backends.
+
+``fingers`` and ``flexminer`` wrap the chip event loop
+(:func:`repro.hw.chip.run_chip`), ``software`` wraps the multi-core
+miner (:class:`repro.sw.miner.SoftwareMiner`), and ``functional`` is
+the pure reference engine promoted to a first-class backend — so
+cross-validation is just "run two backends, compare counts", with no
+special-cased engine path.
+
+Each backend registers itself at import time; the registry imports this
+module lazily (:func:`repro.core.backend.get_backend`), so importing
+``repro.core.backend`` alone stays free of simulator dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.backend import Backend, register_backend
+from repro.core.result import RunResult
+
+__all__ = [
+    "FingersBackend",
+    "FlexMinerBackend",
+    "FunctionalBackend",
+    "FunctionalConfig",
+    "SoftwareBackend",
+]
+
+
+class _HardwareBackend(Backend):
+    """Shared chip-model plumbing for the FINGERS and FlexMiner designs."""
+
+    unit_field = "num_pes"
+    supports_trace = True
+
+    def simulate(
+        self,
+        graph,
+        plans: Sequence,
+        config,
+        *,
+        roots: Iterable[int] | None = None,
+        memory=None,
+        schedule: str = "dynamic",
+        tracer=None,
+    ) -> RunResult:
+        from repro.hw.chip import run_chip
+
+        return run_chip(
+            graph, plans, config, memory,
+            roots=roots, schedule=schedule, tracer=tracer,
+        )
+
+    def summary(self, result: RunResult) -> list[str]:
+        lines = [
+            f"design:  {result.design} ({result.num_pes} PEs)",
+            f"count:   {result.count:,}",
+            f"cycles:  {result.cycles:,.0f}",
+            f"tasks:   {result.combined.tasks:,}",
+            f"imbalance: {result.load_imbalance:.2f}",
+            "shared-cache miss rate: "
+            f"{100 * result.shared_cache.miss_rate:.1f}%",
+        ]
+        if result.num_shards > 1:
+            lines.append(f"shards:  {result.num_shards} (sharded model)")
+        return lines
+
+
+class FingersBackend(_HardwareBackend):
+    """The paper's design: fine-grained parallel PEs (IUs + dividers)."""
+
+    name = "fingers"
+    description = "FINGERS chip timing model (fine-grained parallel PEs)"
+
+    @property
+    def config_type(self):
+        from repro.hw.config import FingersConfig
+
+        return FingersConfig
+
+    def config_from_args(self, args):
+        return self.default_config(
+            units=args.pes or 20,
+            num_ius=args.ius,
+            task_group_size=args.group_size,
+        )
+
+
+class FlexMinerBackend(_HardwareBackend):
+    """The FlexMiner baseline: strict-DFS PEs with serial set units."""
+
+    name = "flexminer"
+    description = "FlexMiner baseline timing model (strict-DFS PEs)"
+
+    @property
+    def config_type(self):
+        from repro.hw.config import FlexMinerConfig
+
+        return FlexMinerConfig
+
+    def config_from_args(self, args):
+        return self.default_config(units=args.pes or 40)
+
+
+class SoftwareBackend(Backend):
+    """Cycle-approximate multi-core CPU miner with work stealing."""
+
+    name = "software"
+    description = "multi-core software miner (work-stealing CPU model)"
+    unit_field = "num_cores"
+    unit_label = "cores"
+
+    @property
+    def config_type(self):
+        from repro.sw.config import SoftwareConfig
+
+        return SoftwareConfig
+
+    def simulate(
+        self,
+        graph,
+        plans: Sequence,
+        config,
+        *,
+        roots: Iterable[int] | None = None,
+        memory=None,
+        schedule: str = "dynamic",
+        tracer=None,
+    ) -> RunResult:
+        if tracer is not None:
+            raise ValueError(
+                "the software backend does not support event tracing"
+            )
+        from repro.sw.miner import SoftwareMiner
+
+        return SoftwareMiner(graph, plans, config, memory).run(roots)
+
+    def config_from_args(self, args):
+        return self.default_config(units=args.pes or 8)
+
+    def summary(self, result: RunResult) -> list[str]:
+        lines = [
+            f"design:  {result.design}",
+            f"count:   {result.count:,}",
+            f"cycles:  {result.cycles:,.0f}",
+            f"steals:  {result.total_steals}",
+            f"imbalance: {result.load_imbalance:.2f}",
+        ]
+        if result.num_shards > 1:
+            lines.append(f"shards:  {result.num_shards} (sharded model)")
+        return lines
+
+
+@dataclass(frozen=True)
+class FunctionalConfig:
+    """The reference engine has no microarchitecture to configure."""
+
+    @property
+    def design_name(self) -> str:
+        return "functional"
+
+
+class FunctionalBackend(Backend):
+    """The pure reference engine: exact counts, no timing model."""
+
+    name = "functional"
+    description = "pure reference engine (exact counts, no timing)"
+    config_type = FunctionalConfig
+    unit_label = "workers"
+
+    def simulate(
+        self,
+        graph,
+        plans: Sequence,
+        config,
+        *,
+        roots: Iterable[int] | None = None,
+        memory=None,
+        schedule: str = "dynamic",
+        tracer=None,
+    ) -> RunResult:
+        if tracer is not None:
+            raise ValueError(
+                "the functional backend does not support event tracing"
+            )
+        from repro.mining.engine import count_embeddings
+
+        root_list = (
+            list(range(graph.num_vertices)) if roots is None else list(roots)
+        )
+        counts = tuple(
+            count_embeddings(graph, plan, roots=root_list) for plan in plans
+        )
+        return RunResult(
+            backend=self.name,
+            design="functional",
+            cycles=0.0,
+            counts=counts,
+        )
+
+    def config_from_args(self, args):
+        return FunctionalConfig()
+
+    def summary(self, result: RunResult) -> list[str]:
+        lines = [
+            f"design:  {result.design} (reference engine)",
+            f"count:   {result.count:,}",
+            "cycles:  n/a (functional backend has no timing model)",
+        ]
+        if result.num_shards > 1:
+            lines.append(f"shards:  {result.num_shards} (sharded model)")
+        return lines
+
+
+FINGERS = register_backend(FingersBackend())
+FLEXMINER = register_backend(FlexMinerBackend())
+SOFTWARE = register_backend(SoftwareBackend())
+FUNCTIONAL = register_backend(FunctionalBackend())

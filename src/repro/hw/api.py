@@ -2,22 +2,21 @@
 
 ``simulate`` accepts a graph, a workload (pattern object, benchmark name
 — including the multi-pattern ``"3mc"`` — or a pre-compiled plan), and a
-design configuration, and returns a :class:`SimResult` with cycles,
-counts, and microarchitectural statistics.
+design configuration, and returns a :class:`RunResult` with cycles,
+counts, and microarchitectural statistics.  The configuration type
+selects the backend through the :mod:`repro.core` registry, so this
+module contains no per-design dispatch.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Sequence, Union
+from typing import Iterable, Sequence
 
+from repro.core.backend import backend_for_config
+from repro.core.result import RunResult
+from repro.core.workload import Workload, resolve_workload
 from repro.graph.csr import CSRGraph
-from repro.hw.chip import ChipResult, run_chip
 from repro.hw.config import FingersConfig, FlexMinerConfig, MemoryConfig
-from repro.pattern.compiler import compile_plan
-from repro.pattern.multipattern import compile_multi_plan, motif_patterns, MultiPlan
-from repro.pattern.pattern import Pattern, named_pattern
-from repro.pattern.plan import ExecutionPlan
 
 __all__ = [
     "SimResult",
@@ -29,66 +28,10 @@ __all__ = [
     "MemoryConfig",
 ]
 
-Workload = Union[str, Pattern, ExecutionPlan, MultiPlan]
-
-
-@dataclass(frozen=True)
-class SimResult:
-    """A chip simulation outcome plus workload identity."""
-
-    workload: str
-    chip: ChipResult
-    pattern_names: tuple[str, ...] = ()
-
-    @property
-    def cycles(self) -> float:
-        return self.chip.cycles
-
-    @property
-    def count(self) -> int:
-        return self.chip.count
-
-    @property
-    def counts(self) -> tuple[int, ...]:
-        return self.chip.counts
-
-    @property
-    def counts_by_name(self) -> dict[str, int]:
-        """Per-pattern counts (useful for multi-pattern jobs like 3mc)."""
-        names = self.pattern_names or (self.workload,)
-        return dict(zip(names, self.chip.counts))
-
-    def speedup_over(self, baseline: "SimResult") -> float:
-        """``baseline.cycles / self.cycles`` with a functional sanity check."""
-        if baseline.counts != self.counts:
-            raise ValueError(
-                "refusing to compare runs with different functional results: "
-                f"{baseline.counts} vs {self.counts}"
-            )
-        if self.cycles == 0:
-            raise ZeroDivisionError("zero-cycle run")
-        return baseline.cycles / self.cycles
-
-
-def resolve_workload(
-    workload: Workload,
-) -> tuple[str, list[ExecutionPlan], tuple[str, ...]]:
-    """Normalize any workload spec to (name, plans, per-plan names)."""
-    if isinstance(workload, MultiPlan):
-        return "+".join(workload.names), list(workload.plans), workload.names
-    if isinstance(workload, ExecutionPlan):
-        name = f"plan(k={workload.num_levels})"
-        return name, [workload], (name,)
-    if isinstance(workload, Pattern):
-        name = f"pattern(k={workload.num_vertices})"
-        return name, [compile_plan(workload)], (name,)
-    if isinstance(workload, str):
-        if workload == "3mc":
-            patterns, names = motif_patterns(3)
-            multi = compile_multi_plan(patterns, names=names)
-            return "3mc", list(multi.plans), tuple(names)
-        return workload, [compile_plan(named_pattern(workload))], (workload,)
-    raise TypeError(f"cannot interpret workload {workload!r}")
+#: Simulation outcomes are the unified result type; the old name
+#: survives as an alias.  ``result.chip`` still yields the bare
+#: chip-level record (workload identity stripped).
+SimResult = RunResult
 
 
 def simulate(
@@ -102,7 +45,7 @@ def simulate(
     tracer=None,
     jobs: int | None = None,
     shards: int | None = None,
-) -> SimResult:
+) -> RunResult:
     """Simulate one mining job on one chip configuration.
 
     ``schedule`` picks the global root scheduler (see
@@ -123,27 +66,12 @@ def simulate(
     >>> r.count > 0
     True
     """
-    name, plans, names = resolve_workload(workload)
-    if jobs is None and shards is None:
-        chip = run_chip(
-            graph, plans, config, memory,
-            roots=roots, schedule=schedule, tracer=tracer,
-        )
-        return SimResult(workload=name, chip=chip, pattern_names=names)
-    if tracer is not None:
-        raise ValueError(
-            "tracing is only supported for unsharded runs (jobs/shards unset)"
-        )
-    if jobs is not None and jobs < 1:
-        raise ValueError("jobs must be >= 1")
-    from repro.parallel.hardware import sharded_run_chip
-
-    chip = sharded_run_chip(
-        graph, plans, config, memory,
-        roots=roots, schedule=schedule,
-        jobs=jobs or 1, num_shards=shards,
+    backend = backend_for_config(config)
+    return backend.run(
+        graph, workload, config,
+        memory=memory, roots=roots, schedule=schedule, tracer=tracer,
+        jobs=jobs, shards=shards,
     )
-    return SimResult(workload=name, chip=chip, pattern_names=names)
 
 
 def speedup_grid(

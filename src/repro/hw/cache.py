@@ -44,15 +44,9 @@ class CacheStats:
 def merge_cache_stats(stats: "list[CacheStats] | tuple[CacheStats, ...]") -> CacheStats:
     """Sum counters across cache instances (exact: every counter is a
     plain event count, so disjoint simulations merge by addition)."""
-    out = CacheStats()
-    for s in stats:
-        out.accesses += s.accesses
-        out.misses += s.misses
-        out.insertions += s.insertions
-        out.evictions += s.evictions
-        out.bytes_inserted += s.bytes_inserted
-        out.bytes_evicted += s.bytes_evicted
-    return out
+    from repro.core.merge import merge_stats
+
+    return merge_stats(stats, cls=CacheStats)
 
 
 class SectoredLRUCache:

@@ -12,108 +12,35 @@ the gap between mean PE busy time and makespan.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from repro.core.result import RunResult, merge_run_results
 from repro.graph.csr import CSRGraph
-from repro.hw.cache import CacheStats, SectoredLRUCache, merge_cache_stats
+from repro.hw.cache import SectoredLRUCache
 from repro.hw.config import FingersConfig, FlexMinerConfig, MemoryConfig
 from repro.hw.flexminer import FlexMinerPE
-from repro.hw.memory import DRAMModel, DRAMStats, merge_dram_stats
-from repro.hw.noc import NoCModel, NoCStats, merge_noc_stats
+from repro.hw.memory import DRAMModel
+from repro.hw.noc import NoCModel
 from repro.hw.pe import BasePE, FingersPE
-from repro.hw.stats import PEStats, merge_pe_stats
 from repro.pattern.plan import ExecutionPlan
 
 __all__ = ["ChipResult", "run_chip", "merge_chip_results"]
 
-
-@dataclass(frozen=True)
-class ChipResult:
-    """Everything a chip simulation produced."""
-
-    design: str
-    cycles: float
-    counts: tuple[int, ...]
-    pe_stats: tuple[PEStats, ...]
-    combined: PEStats
-    shared_cache: CacheStats
-    dram: DRAMStats
-    noc: NoCStats
-    num_pes: int
-    num_ius: int
-    task_group_size: int
-    pe_finish_times: tuple[float, ...]
-    #: How many disjoint root shards (cold chip instances) this result
-    #: aggregates.  1 for a plain single-chip run; under the sharded
-    #: model (``jobs=`` in :func:`repro.hw.api.simulate`),
-    #: ``len(pe_stats) == num_pes * num_shards`` and ``cycles`` is the
-    #: makespan of the slowest shard.  See docs/PARALLELISM.md.
-    num_shards: int = 1
-
-    @property
-    def count(self) -> int:
-        """Total embeddings over all patterns."""
-        return sum(self.counts)
-
-    @property
-    def load_imbalance(self) -> float:
-        """Makespan over mean PE busy time (1.0 = perfectly balanced)."""
-        busy = [s.busy_cycles for s in self.pe_stats if s.busy_cycles > 0]
-        if not busy:
-            return 1.0
-        mean = sum(busy) / len(busy)
-        return self.cycles / mean if mean > 0 else 1.0
+#: Chip runs produce the unified result type; the old name survives as
+#: an alias (``pe_stats``, ``combined``, ``shared_cache``, ... resolve
+#: through :class:`repro.core.result.RunResult`'s compatibility surface).
+ChipResult = RunResult
 
 
-def merge_chip_results(results: Sequence[ChipResult]) -> ChipResult:
+def merge_chip_results(results: Sequence[RunResult]) -> RunResult:
     """Combine per-shard chip results with exact semantics.
 
-    Each input must come from the *same* design configuration run over a
-    disjoint root shard on a cold chip.  Counts and every traffic/stat
-    counter merge by addition; per-PE records are concatenated (PE ``i``
-    of shard ``s`` is a distinct physical PE in the multi-chip reading);
-    ``cycles`` is the makespan of the slowest shard.  Merging is
-    associative, order-normalized by the caller passing shards in root
-    order, and introduces no floating-point re-association: every output
-    float is either a sum or a max of input floats.
+    Alias of :func:`repro.core.result.merge_run_results`, kept for the
+    hardware layer's public surface: counts and every traffic counter
+    merge by addition, per-PE records concatenate, ``cycles`` is the
+    makespan of the slowest shard.
     """
-    if not results:
-        raise ValueError("cannot merge zero chip results")
-    first = results[0]
-    for r in results[1:]:
-        if (
-            r.design != first.design
-            or r.num_pes != first.num_pes
-            or r.num_ius != first.num_ius
-            or r.task_group_size != first.task_group_size
-            or len(r.counts) != len(first.counts)
-        ):
-            raise ValueError("refusing to merge results of different designs")
-    if len(results) == 1:
-        return first
-    counts = [0] * len(first.counts)
-    for r in results:
-        for i, c in enumerate(r.counts):
-            counts[i] += c
-    all_pe_stats = [s for r in results for s in r.pe_stats]
-    return ChipResult(
-        design=first.design,
-        cycles=max(r.cycles for r in results),
-        counts=tuple(counts),
-        pe_stats=tuple(all_pe_stats),
-        combined=merge_pe_stats(all_pe_stats),
-        shared_cache=merge_cache_stats([r.shared_cache for r in results]),
-        dram=merge_dram_stats([r.dram for r in results]),
-        noc=merge_noc_stats([r.noc for r in results]),
-        num_pes=first.num_pes,
-        num_ius=first.num_ius,
-        task_group_size=first.task_group_size,
-        pe_finish_times=tuple(
-            t for r in results for t in r.pe_finish_times
-        ),
-        num_shards=sum(r.num_shards for r in results),
-    )
+    return merge_run_results(results)
 
 
 def _make_pes(
@@ -241,23 +168,24 @@ def run_chip(
         for i, c in enumerate(pe.counts):
             counts[i] += c
     stats = [pe.stats for pe in pes]
-    num_ius = config.num_ius if isinstance(config, FingersConfig) else 1
-    group = (
-        pes[0].group_size
-        if isinstance(config, FingersConfig) and pes
-        else 1
-    )
-    return ChipResult(
+    is_fingers = isinstance(config, FingersConfig)
+    num_ius = config.num_ius if is_fingers else 1
+    group = pes[0].group_size if is_fingers and pes else 1
+    return RunResult(
+        backend="fingers" if is_fingers else "flexminer",
         design=config.design_name,
         cycles=cycles,
         counts=tuple(counts),
-        pe_stats=tuple(stats),
-        combined=merge_pe_stats(stats),
-        shared_cache=shared_cache.stats,
-        dram=dram.stats,
-        noc=noc.stats,
-        num_pes=len(pes),
-        num_ius=num_ius,
-        task_group_size=group,
-        pe_finish_times=tuple(finish),
+        units=tuple(stats),
+        unit_finish_times=tuple(finish),
+        sections={
+            "shared_cache": shared_cache.stats,
+            "dram": dram.stats,
+            "noc": noc.stats,
+        },
+        scalars={
+            "num_pes": len(pes),
+            "num_ius": num_ius,
+            "task_group_size": group,
+        },
     )

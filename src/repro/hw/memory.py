@@ -33,13 +33,9 @@ class DRAMStats:
 
 def merge_dram_stats(stats: "list[DRAMStats] | tuple[DRAMStats, ...]") -> DRAMStats:
     """Sum traffic counters across independent channels/simulations."""
-    out = DRAMStats()
-    for s in stats:
-        out.requests += s.requests
-        out.bytes_transferred += s.bytes_transferred
-        out.busy_cycles += s.busy_cycles
-        out.total_queue_delay += s.total_queue_delay
-    return out
+    from repro.core.merge import merge_stats
+
+    return merge_stats(stats, cls=DRAMStats)
 
 
 class DRAMModel:

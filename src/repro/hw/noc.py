@@ -54,12 +54,9 @@ class NoCStats:
 
 def merge_noc_stats(stats: "list[NoCStats] | tuple[NoCStats, ...]") -> NoCStats:
     """Sum traffic counters across independent interconnect instances."""
-    out = NoCStats()
-    for s in stats:
-        out.transfers += s.transfers
-        out.bytes_transferred += s.bytes_transferred
-        out.total_queue_delay += s.total_queue_delay
-    return out
+    from repro.core.merge import merge_stats
+
+    return merge_stats(stats, cls=NoCStats)
 
 
 class NoCModel:

@@ -70,19 +70,6 @@ class PEStats:
 
 def merge_pe_stats(stats: list[PEStats]) -> PEStats:
     """Sum counters across PEs (for chip-level reporting)."""
-    out = PEStats()
-    for s in stats:
-        out.tasks += s.tasks
-        out.task_groups += s.task_groups
-        out.busy_cycles += s.busy_cycles
-        out.stall_cycles += s.stall_cycles
-        out.compute_cycles += s.compute_cycles
-        out.overhead_cycles += s.overhead_cycles
-        out.iu_busy_cycles += s.iu_busy_cycles
-        out.num_work_items += s.num_work_items
-        out.balance_busy_sum += s.balance_busy_sum
-        out.balance_capacity_sum += s.balance_capacity_sum
-        out.neighbor_fetches += s.neighbor_fetches
-        out.private_spills += s.private_spills
-        out.embeddings_found += s.embeddings_found
-    return out
+    from repro.core.merge import merge_stats
+
+    return merge_stats(stats, cls=PEStats)

@@ -99,7 +99,7 @@ def per_root_counts(
     in the same serial root order (contiguous chunks, concatenated).
     """
     if jobs is not None and jobs > 1:
-        from repro.parallel.mining import per_root_counts_parallel
+        from repro.core.sharded import per_root_counts_parallel
 
         yield from per_root_counts_parallel(graph, plan, roots, jobs)
         return
@@ -158,7 +158,7 @@ def list_embeddings(
     truncation applied after the merge) equals the serial list exactly.
     """
     if jobs is not None and jobs > 1:
-        from repro.parallel.mining import list_embeddings_parallel
+        from repro.core.sharded import list_embeddings_parallel
 
         return list_embeddings_parallel(graph, plan, roots, limit, jobs)
     k = plan.num_levels

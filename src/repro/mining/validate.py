@@ -1,26 +1,33 @@
-"""Cross-validation utilities: every executor must agree.
+"""Cross-validation utilities: every backend must agree.
 
-The repository's strongest correctness claim is that four independent
-code paths — the brute-force matcher, the plan-based reference engine,
-the FINGERS timing model, and the FlexMiner timing model (plus the
-software model) — all produce the same counts for the same job.  This
-module packages that check for tests, examples, and ad-hoc debugging.
+The repository's strongest correctness claim is that independent code
+paths — the brute-force matcher plus every backend in the
+:mod:`repro.core` registry (the functional reference engine, the
+FINGERS and FlexMiner timing models, and optionally the software
+model) — all produce the same counts for the same job.  Validation is
+literally "run two backends, compare counts": each leg goes through
+``get_backend(name).run(...)``, so a new backend is covered the moment
+it registers.  This module packages that check for tests, examples, and
+ad-hoc debugging.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.graph.csr import CSRGraph
 from repro.mining.api import plan_for
 from repro.mining.bruteforce import count_instances_bruteforce
-from repro.mining.engine import count_embeddings
 from repro.pattern.pattern import Pattern, named_pattern
 
 __all__ = ["ValidationReport", "cross_validate"]
 
 #: Graphs above this vertex count skip the (exponential) brute-force leg.
 _BRUTEFORCE_LIMIT = 40
+
+#: Timing-model PE/core count used for validation legs: small enough to
+#: be fast, large enough to exercise the schedulers.
+_VALIDATE_UNITS = 2
 
 
 @dataclass(frozen=True)
@@ -50,33 +57,36 @@ def cross_validate(
 ) -> ValidationReport:
     """Run every executor on one job and compare counts.
 
-    The brute-force oracle is included only for small graphs (its cost is
+    The ``engine`` leg is the registry's ``functional`` backend (the
+    pure reference engine); hardware and software legs are the same
+    registry lookups with small timing-model configurations.  The
+    brute-force oracle is included only for small graphs (its cost is
     exponential) and only when ``roots`` is not restricted.
     """
+    from repro.core.backend import get_backend
+
     pattern_obj = named_pattern(pattern) if isinstance(pattern, str) else pattern
     name = pattern if isinstance(pattern, str) else repr(pattern)
     plan = plan_for(pattern_obj, vertex_induced=vertex_induced)
 
     counts: dict = {}
-    counts["engine"] = count_embeddings(graph, plan, roots=roots)
+    counts["engine"] = get_backend("functional").run(
+        graph, plan, roots=roots
+    ).count
     if graph.num_vertices <= _BRUTEFORCE_LIMIT and roots is None:
         counts["bruteforce"] = count_instances_bruteforce(
             graph, pattern_obj, vertex_induced=vertex_induced
         )
+    backends = []
     if include_hardware:
-        from repro.hw.api import FingersConfig, FlexMinerConfig, simulate
-
-        counts["fingers"] = simulate(
-            graph, plan, FingersConfig(num_pes=2), roots=roots
-        ).count
-        counts["flexminer"] = simulate(
-            graph, plan, FlexMinerConfig(num_pes=2), roots=roots
-        ).count
+        backends += ["fingers", "flexminer"]
     if include_software:
-        from repro.sw import SoftwareConfig, simulate_software
-
-        counts["software"] = simulate_software(
-            graph, plan, SoftwareConfig(num_cores=2), roots=roots
+        backends.append("software")
+    for bname in backends:
+        backend = get_backend(bname)
+        counts[bname] = backend.run(
+            graph, plan, backend.default_config(units=_VALIDATE_UNITS),
+            roots=roots,
         ).count
 
     values = set(counts.values())

@@ -1,31 +1,24 @@
-"""Host-parallel drivers for the chip and software simulators.
+"""Compatibility wrappers over the backend-generic sharded driver.
 
-Unlike the reference engine, a timing simulation is *not* associative
-over roots: PEs couple through the shared cache's LRU state, the DRAM
-channel, and the NoC, so replaying the single-chip event loop in
-parallel would require a full parallel-discrete-event simulation.
-Instead, ``jobs=`` selects the **sharded (multi-chip) model**: the root
-set is cut into shards (a pure function of the graph and roots — never
-of the worker count), every shard is simulated on its own cold chip
-instance, and the shard results are merged with exact semantics
-(counts and traffic counters sum; makespan is the max over shards).
+The per-design twins that used to live here (``sharded_run_chip`` for
+the chip simulators, ``sharded_software_run`` for the software miner)
+are now one driver, :func:`repro.core.sharded.run_sharded`, which works
+for every registered backend.  These wrappers keep the historical
+entry points and argument order; new code should call ``run_sharded``
+(or ``Backend.run(..., jobs=...)``) directly.
 
-Because each shard simulation is deterministic and the decomposition is
-jobs-independent, ``jobs=1`` and ``jobs=N`` produce bit-for-bit
-identical merged results; the worker count only changes the wall clock.
-See ``docs/PARALLELISM.md`` for the full contract and for how the
-sharded model relates to the default single-chip model.
+Imports from :mod:`repro.core.sharded` are deferred to call time:
+``repro.core.sharded`` itself imports this package's chunking/pool
+machinery, so a module-level import here would be circular.
 """
 
 from __future__ import annotations
 
 from typing import Any, Iterable, Sequence
 
+from repro.core.result import RunResult
 from repro.graph.csr import CSRGraph
-from repro.hw.chip import ChipResult, merge_chip_results, run_chip
 from repro.hw.config import FingersConfig, FlexMinerConfig, MemoryConfig
-from repro.parallel.chunking import default_num_shards, shard_roots
-from repro.parallel.pool import run_shards
 from repro.pattern.plan import ExecutionPlan
 
 __all__ = ["sharded_run_chip", "sharded_software_run", "resolve_shards"]
@@ -39,25 +32,12 @@ def resolve_shards(
     """The shard decomposition the sharded model will use.
 
     Exposed so callers (e.g. the result cache) can key on the effective
-    shard count without running anything.
+    shard count without running anything.  Wrapper over
+    :func:`repro.core.sharded.resolve_shards`.
     """
-    root_list = (
-        list(range(graph.num_vertices)) if roots is None else list(roots)
-    )
-    if num_shards is None:
-        num_shards = default_num_shards(len(root_list))
-    return shard_roots(graph, root_list, num_shards)
+    from repro.core.sharded import resolve_shards as _resolve
 
-
-def _chip_worker(payload: dict[str, Any], shard: list[int]) -> ChipResult:
-    return run_chip(
-        payload["graph"],
-        payload["plans"],
-        payload["config"],
-        payload["memcfg"],
-        roots=shard,
-        schedule=payload["schedule"],
-    )
+    return _resolve(graph, roots, num_shards)
 
 
 def sharded_run_chip(
@@ -70,38 +50,16 @@ def sharded_run_chip(
     schedule: str = "dynamic",
     jobs: int = 1,
     num_shards: int | None = None,
-) -> ChipResult:
-    """Run the sharded chip model: one cold chip per root shard.
+) -> RunResult:
+    """Run the sharded chip model: one cold chip per root shard."""
+    from repro.core.backend import backend_for_config
+    from repro.core.sharded import run_sharded
 
-    A decomposition of a single shard degenerates to the plain
-    single-chip model, so tiny root sets behave identically with and
-    without ``jobs``.
-    """
-    shards = resolve_shards(graph, roots, num_shards)
-    if len(shards) <= 1:
-        only = shards[0] if shards else []
-        return run_chip(
-            graph, plans, config, memcfg, roots=only, schedule=schedule
-        )
-    payload = {
-        "graph": graph,
-        "plans": list(plans),
-        "config": config,
-        "memcfg": memcfg,
-        "schedule": schedule,
-    }
-    results = run_shards(_chip_worker, payload, shards, jobs)
-    return merge_chip_results(results)
-
-
-def _software_worker(payload: dict[str, Any], shard: list[int]) -> Any:
-    from repro.sw.miner import SoftwareMiner
-
-    miner = SoftwareMiner(
-        payload["graph"], payload["plans"], payload["config"],
-        payload["memcfg"],
+    return run_sharded(
+        backend_for_config(config), graph, plans, config,
+        memory=memcfg, roots=roots, schedule=schedule,
+        jobs=jobs, num_shards=num_shards,
     )
-    return miner.run(shard)
 
 
 def sharded_software_run(
@@ -113,19 +71,12 @@ def sharded_software_run(
     roots: Iterable[int] | None,
     jobs: int = 1,
     num_shards: int | None = None,
-) -> Any:
+) -> RunResult:
     """Sharded software-miner model (same contract as the chip model)."""
-    from repro.sw.miner import SoftwareMiner, merge_software_results
+    from repro.core.backend import get_backend
+    from repro.core.sharded import run_sharded
 
-    shards = resolve_shards(graph, roots, num_shards)
-    if len(shards) <= 1:
-        only = shards[0] if shards else []
-        return SoftwareMiner(graph, plans, config, memcfg).run(only)
-    payload = {
-        "graph": graph,
-        "plans": list(plans),
-        "config": config,
-        "memcfg": memcfg,
-    }
-    results = run_shards(_software_worker, payload, shards, jobs)
-    return merge_software_results(results)
+    return run_sharded(
+        get_backend("software"), graph, plans, config,
+        memory=memcfg, roots=roots, jobs=jobs, num_shards=num_shards,
+    )

@@ -1,23 +1,17 @@
-"""Host-parallel drivers for the reference mining engine.
+"""Compatibility wrappers for the reference-engine parallel helpers.
 
-The engine's results are associative over roots: counts add, and
-embedding lists concatenate in root order.  Because
-:func:`repro.parallel.chunking.shard_roots` produces chunks that are
-contiguous in root order, merging per-chunk results in chunk order
-reproduces the serial output *exactly* — same totals, same embedding
-tuples, same ordering — for every worker count.  (The engine path may
-therefore over-decompose freely for load balancing, unlike the sharded
-simulator model whose decomposition is part of its timing semantics.)
+The implementations moved to :mod:`repro.core.sharded` alongside the
+backend-generic sharded driver, so all host-parallel dispatch lives in
+one module.  These wrappers keep the historical entry points; imports
+are deferred to call time because ``repro.core.sharded`` imports this
+package's chunking/pool machinery.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import Iterable
 
 from repro.graph.csr import CSRGraph
-from repro.mining import engine
-from repro.parallel.chunking import engine_num_chunks, shard_roots
-from repro.parallel.pool import run_shards
 from repro.pattern.plan import ExecutionPlan
 
 __all__ = [
@@ -25,30 +19,6 @@ __all__ = [
     "count_embeddings_parallel",
     "list_embeddings_parallel",
 ]
-
-
-def _count_worker(
-    payload: dict[str, Any], chunk: list[int]
-) -> list[tuple[int, int]]:
-    return list(
-        engine.per_root_counts(payload["graph"], payload["plan"], roots=chunk)
-    )
-
-
-def _list_worker(
-    payload: dict[str, Any], chunk: list[int]
-) -> list[tuple[int, ...]]:
-    return engine.list_embeddings(
-        payload["graph"], payload["plan"], roots=chunk, limit=payload["limit"]
-    )
-
-
-def _chunked(
-    graph: CSRGraph, roots: Iterable[int] | None, jobs: int
-) -> list[list[int]]:
-    root_list = list(roots) if roots is not None else None
-    n = graph.num_vertices if root_list is None else len(root_list)
-    return shard_roots(graph, root_list, engine_num_chunks(n, jobs))
 
 
 def per_root_counts_parallel(
@@ -59,10 +29,9 @@ def per_root_counts_parallel(
 ) -> list[tuple[int, int]]:
     """``(root, count)`` pairs in serial root order, computed on ``jobs``
     worker processes."""
-    chunks = _chunked(graph, roots, jobs)
-    payload = {"graph": graph, "plan": plan}
-    parts = run_shards(_count_worker, payload, chunks, jobs)
-    return [pair for part in parts for pair in part]
+    from repro.core.sharded import per_root_counts_parallel as _impl
+
+    return _impl(graph, plan, roots, jobs)
 
 
 def count_embeddings_parallel(
@@ -72,9 +41,9 @@ def count_embeddings_parallel(
     jobs: int,
 ) -> int:
     """Total embedding count, sharded over ``jobs`` worker processes."""
-    return sum(
-        count for _, count in per_root_counts_parallel(graph, plan, roots, jobs)
-    )
+    from repro.core.sharded import count_embeddings_parallel as _impl
+
+    return _impl(graph, plan, roots, jobs)
 
 
 def list_embeddings_parallel(
@@ -84,16 +53,7 @@ def list_embeddings_parallel(
     limit: int | None,
     jobs: int,
 ) -> list[tuple[int, ...]]:
-    """Embeddings in serial order; ``limit`` truncates after the merge.
+    """Embeddings in serial order; ``limit`` truncates after the merge."""
+    from repro.core.sharded import list_embeddings_parallel as _impl
 
-    Each worker also stops at ``limit`` locally (it can never contribute
-    more than ``limit`` surviving embeddings), so dense graphs don't
-    enumerate unboundedly just to be truncated at the end.
-    """
-    chunks = _chunked(graph, roots, jobs)
-    payload = {"graph": graph, "plan": plan, "limit": limit}
-    parts = run_shards(_list_worker, payload, chunks, jobs)
-    out = [emb for part in parts for emb in part]
-    if limit is not None:
-        del out[limit:]
-    return out
+    return _impl(graph, plan, roots, limit, jobs)

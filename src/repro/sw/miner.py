@@ -18,15 +18,14 @@ hardware closes.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.core.result import RunResult, merge_run_results
 from repro.graph.csr import CSRGraph
-from repro.hw.cache import CacheStats, SectoredLRUCache, merge_cache_stats
+from repro.hw.cache import SectoredLRUCache
 from repro.hw.config import MemoryConfig
-from repro.hw.memory import DRAMModel, DRAMStats, merge_dram_stats
+from repro.hw.memory import DRAMModel
 from repro.hw.pe import BasePE, Task
-from repro.hw.stats import PEStats, merge_pe_stats
 from repro.sw.config import SoftwareConfig
 
 __all__ = [
@@ -102,68 +101,22 @@ class _Core(BasePE):
         return len(self._stack)
 
 
-@dataclass(frozen=True)
-class SoftwareResult:
-    """Outcome of one software mining run."""
-
-    design: str
-    cycles: float
-    counts: tuple[int, ...]
-    core_stats: tuple[PEStats, ...]
-    combined: PEStats
-    llc: CacheStats
-    dram: DRAMStats
-    total_steals: int
-    #: Number of disjoint root shards aggregated into this result (1 for
-    #: a plain run; see docs/PARALLELISM.md for the sharded model).
-    num_shards: int = 1
-
-    @property
-    def count(self) -> int:
-        return sum(self.counts)
-
-    @property
-    def load_imbalance(self) -> float:
-        busy = [s.busy_cycles for s in self.core_stats if s.busy_cycles > 0]
-        if not busy:
-            return 1.0
-        mean = sum(busy) / len(busy)
-        return self.cycles / mean if mean > 0 else 1.0
+#: Software runs produce the unified result type; the old name survives
+#: as an alias (``core_stats``, ``llc``, ``total_steals``, ... resolve
+#: through :class:`repro.core.result.RunResult`'s compatibility surface).
+SoftwareResult = RunResult
 
 
 def merge_software_results(
-    results: Sequence[SoftwareResult],
-) -> SoftwareResult:
+    results: Sequence[RunResult],
+) -> RunResult:
     """Combine per-shard software runs with exact semantics.
 
-    Mirrors :func:`repro.hw.chip.merge_chip_results`: counts, traffic
-    counters, and steals sum; core stats concatenate; ``cycles`` is the
-    slowest shard's makespan.
+    Alias of :func:`repro.core.result.merge_run_results`: counts,
+    traffic counters, and steals sum; core stats concatenate; ``cycles``
+    is the slowest shard's makespan.
     """
-    if not results:
-        raise ValueError("cannot merge zero software results")
-    first = results[0]
-    for r in results[1:]:
-        if r.design != first.design or len(r.counts) != len(first.counts):
-            raise ValueError("refusing to merge results of different designs")
-    if len(results) == 1:
-        return first
-    counts = [0] * len(first.counts)
-    for r in results:
-        for i, c in enumerate(r.counts):
-            counts[i] += c
-    all_stats = [s for r in results for s in r.core_stats]
-    return SoftwareResult(
-        design=first.design,
-        cycles=max(r.cycles for r in results),
-        counts=tuple(counts),
-        core_stats=tuple(all_stats),
-        combined=merge_pe_stats(all_stats),
-        llc=merge_cache_stats([r.llc for r in results]),
-        dram=merge_dram_stats([r.dram for r in results]),
-        total_steals=sum(r.total_steals for r in results),
-        num_shards=sum(r.num_shards for r in results),
-    )
+    return merge_run_results(results)
 
 
 class SoftwareMiner:
@@ -237,15 +190,18 @@ class SoftwareMiner:
             for i, c in enumerate(core.counts):
                 counts[i] += c
         stats = [core.stats for core in cores]
-        return SoftwareResult(
+        return RunResult(
+            backend="software",
             design=self.config.design_name,
             cycles=max(finish) if finish else 0.0,
             counts=tuple(counts),
-            core_stats=tuple(stats),
-            combined=merge_pe_stats(stats),
-            llc=llc.stats,
-            dram=dram.stats,
-            total_steals=sum(core.steals for core in cores),
+            units=tuple(stats),
+            unit_finish_times=tuple(finish),
+            sections={"llc": llc.stats, "dram": dram.stats},
+            scalars={
+                "num_cores": len(cores),
+                "total_steals": sum(core.steals for core in cores),
+            },
         )
 
 
@@ -257,25 +213,18 @@ def simulate_software(
     roots: Iterable[int] | None = None,
     jobs: int | None = None,
     shards: int | None = None,
-) -> SoftwareResult:
+) -> RunResult:
     """Run one mining job on the software model.
 
     Accepts the same workload specs as :func:`repro.hw.api.simulate`.
     ``jobs``/``shards`` select the sharded model (one cold miner per
     root shard, exact merges, makespan = max over shards) with the same
     determinism contract as the chip simulator — see
-    docs/PARALLELISM.md.
+    docs/PARALLELISM.md.  Delegates to the registered ``software``
+    backend (:mod:`repro.core.backends`).
     """
-    from repro.hw.api import resolve_workload
+    from repro.core.backend import get_backend
 
-    _, plans, _ = resolve_workload(workload)
-    if jobs is None and shards is None:
-        return SoftwareMiner(graph, plans, config).run(roots)
-    if jobs is not None and jobs < 1:
-        raise ValueError("jobs must be >= 1")
-    from repro.parallel.hardware import sharded_software_run
-
-    return sharded_software_run(
-        graph, plans, config, None,
-        roots=roots, jobs=jobs or 1, num_shards=shards,
+    return get_backend("software").run(
+        graph, workload, config, roots=roots, jobs=jobs, shards=shards
     )

@@ -220,6 +220,56 @@ def test_cache001_plain_config_is_clean():
 
 
 # ----------------------------------------------------------------------
+# ARCH001 — registry bypass
+# ----------------------------------------------------------------------
+
+
+def test_arch001_run_chip_import_fires():
+    src = (
+        "from repro.hw.chip import run_chip\n"
+        "def go(graph, plans, config):\n"
+        "    return run_chip(graph, plans, config, None)\n"
+    )
+    assert rules_fired(src, module="repro.bench.snippet") == ["ARCH001"]
+
+
+def test_arch001_relative_import_fires():
+    src = "from .miner import SoftwareMiner\n"
+    assert rules_fired(src, module="repro.sw.snippet") == ["ARCH001"]
+
+
+def test_arch001_each_guarded_name_fires_once():
+    src = "from repro.sw.miner import SoftwareMiner, simulate_software\n"
+    assert rules_fired(src, module="repro.mining.snippet") == [
+        "ARCH001", "ARCH001",
+    ]
+
+
+def test_arch001_backend_layer_is_exempt():
+    src = "from repro.hw.chip import run_chip\n"
+    assert rules_fired(src, module="repro.core.backends") == []
+
+
+def test_arch001_defining_module_is_exempt():
+    src = "from repro.hw.chip import run_chip\n"
+    assert rules_fired(src, module="repro.hw.chip") == []
+
+
+def test_arch001_registry_import_is_clean():
+    src = (
+        "from repro.core.backend import get_backend\n"
+        "def go(graph):\n"
+        "    return get_backend('fingers').run(graph, 'tc')\n"
+    )
+    assert rules_fired(src, module="repro.bench.snippet") == []
+
+
+def test_arch001_non_repro_source_is_clean():
+    src = "from somewhere.else_ import run_chip\n"
+    assert rules_fired(src, module="repro.bench.snippet") == []
+
+
+# ----------------------------------------------------------------------
 # HYG001 / HYG002 — hygiene
 # ----------------------------------------------------------------------
 
@@ -295,7 +345,7 @@ def test_rule_catalog_ids_unique_and_documented():
     ids = [r.id for r in rules]
     assert len(ids) == len(set(ids))
     assert {"DET001", "DET002", "DET003", "PAR001", "CACHE001",
-            "HYG001", "HYG002"} <= set(ids)
+            "ARCH001", "HYG001", "HYG002"} <= set(ids)
     assert all(r.summary for r in rules)
 
 

@@ -92,6 +92,36 @@ class TestCommands:
         ]) == 0
         assert "SW-2core" in capsys.readouterr().out
 
+    def test_simulate_functional(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("\n".join(f"{i} {j}" for i in range(10)
+                                  for j in range(i + 1, 10)))
+        assert main([
+            "simulate", "tc", "--file", str(path),
+            "--design", "functional",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "functional" in out
+        assert "120" in out  # C(10,3) triangles in K10
+        assert "n/a" in out
+
+    def test_simulate_functional_trace_rejected(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n2 0\n")
+        assert main([
+            "simulate", "tc", "--file", str(path),
+            "--design", "functional", "--trace",
+        ]) == 2
+        assert "does not support" in capsys.readouterr().err
+
+    def test_backends_lists_registry(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fingers", "flexminer", "software", "functional"):
+            assert name in out
+        assert "FingersConfig" in out
+        assert "key=v1" in out
+
     def test_compare(self, tmp_path, capsys):
         path = tmp_path / "g.txt"
         path.write_text("\n".join(f"{i} {j}" for i in range(12)

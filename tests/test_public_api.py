@@ -9,6 +9,7 @@ PACKAGES = [
     "repro",
     "repro.graph",
     "repro.pattern",
+    "repro.core",
     "repro.setops",
     "repro.mining",
     "repro.hw",
