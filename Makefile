@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: install test bench bench-fast examples clean loc lint check
+.PHONY: install test bench bench-fast bench-kernels examples clean loc lint check
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -19,6 +19,11 @@ bench:
 
 bench-cli:
 	$(PYTHON) -m repro.bench --out benchmarks/results
+
+# Set-op kernel microbenchmarks + end-to-end counting speedups; writes
+# benchmarks/results/BENCH_kernels.json (docs/KERNELS.md).
+bench-kernels:
+	$(PYTHON) -m pytest benchmarks/test_kernels.py --benchmark-only
 
 examples:
 	$(PYTHON) examples/quickstart.py

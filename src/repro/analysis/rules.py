@@ -9,6 +9,7 @@ DET003     error     order-sensitive iteration over unordered sets in hot paths
 PAR001     error     lambda / nested-function handed to the worker pool
 CACHE001   error     config dataclass field escaping the cache schema hash
 ARCH001    error     simulator entry point imported around the backend registry
+PERF001    error     ``np.delete``/``np.append`` inside a loop in a hot path
 HYG001     warning   mutable default argument
 HYG002     warning   bare ``except:``
 =========  ========  ==========================================================
@@ -33,7 +34,7 @@ from repro.analysis.astutils import (
 from repro.analysis.engine import ModuleContext, Rule, register
 from repro.analysis.findings import Finding, Severity
 
-__all__ = ["HOT_PATH_PACKAGES", "SIMULATION_PACKAGES"]
+__all__ = ["HOT_PATH_PACKAGES", "PERF_HOT_PACKAGES", "SIMULATION_PACKAGES"]
 
 #: Packages whose iteration order reaches merged results (DET003).
 HOT_PATH_PACKAGES = (
@@ -472,6 +473,76 @@ ARCH001 = register(
         summary="simulator entry point imported around the backend registry",
         scope=("repro",),
         check=_check_arch001,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# PERF001 — array-copy churn inside loops on the hot path
+# ----------------------------------------------------------------------
+
+#: numpy routines that reallocate and copy the whole array per call;
+#: inside a loop that is O(k·n) where one vectorized mask pass is O(n).
+_COPY_CHURN_FNS = {"delete", "append", "insert"}
+
+#: Packages whose set-op / traversal loops dominate runtime.
+PERF_HOT_PACKAGES = ("repro.setops", "repro.mining", "repro.hw")
+
+
+def _check_perf001(tree: ast.Module, ctx: ModuleContext) -> Iterator[Finding]:
+    imports = collect_imports(tree)
+    numpy_aliases = {
+        alias for alias, mod in imports.modules.items() if mod == "numpy"
+    }
+
+    def churn_name(call: ast.Call) -> str | None:
+        chain = attr_chain(call.func)
+        if (
+            len(chain) == 2
+            and chain[0] in numpy_aliases
+            and chain[1] in _COPY_CHURN_FNS
+        ):
+            return chain[1]
+        if len(chain) == 1:
+            origin = imports.from_import(chain[0])
+            if (
+                origin is not None
+                and origin[0] == "numpy"
+                and origin[1] in _COPY_CHURN_FNS
+            ):
+                return origin[1]
+        return None
+
+    seen: set[ast.Call] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.For, ast.While)):
+            continue
+        for inner in ast.walk(node):
+            if not isinstance(inner, ast.Call) or inner in seen:
+                continue
+            name = churn_name(inner)
+            if name is None:
+                continue
+            seen.add(inner)
+            found = ctx.finding(
+                PERF001,
+                inner,
+                f"`np.{name}` inside a loop reallocates and copies the "
+                "whole array per iteration (O(k·n)); accumulate a boolean "
+                "mask or indices and apply one vectorized pass instead "
+                "(docs/ANALYSIS.md)",
+            )
+            if found is not None:
+                yield found
+
+
+PERF001 = register(
+    Rule(
+        id="PERF001",
+        severity=Severity.ERROR,
+        summary="np.delete/np.append inside a loop on the hot path",
+        scope=PERF_HOT_PACKAGES,
+        check=_check_perf001,
     )
 )
 

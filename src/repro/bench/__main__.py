@@ -9,6 +9,7 @@ rendered result and optionally writing them to a directory::
     python -m repro.bench --only fig9 fig12
     python -m repro.bench --jobs 8         # shard roots over 8 processes
     python -m repro.bench --no-cache       # ignore the persistent cache
+    python -m repro.bench --profile-kernels  # kernel dispatch counters
 
 Results are memoized on disk (``REPRO_CACHE_DIR``, default
 ``~/.cache/repro``; see docs/PARALLELISM.md), so a repeated sweep with a
@@ -71,11 +72,20 @@ def main(argv=None) -> int:
         "--no-cache", action="store_true",
         help="do not read or write the persistent result cache",
     )
+    parser.add_argument(
+        "--profile-kernels", action="store_true",
+        help="print set-op kernel dispatch counters after the sweep "
+             "(docs/KERNELS.md; counts cover this process only)",
+    )
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
     _runner.configure(jobs=args.jobs, disk_cache=not args.no_cache)
     _runner.reset_stats()
+    if args.profile_kernels:
+        from repro.setops.kernels import reset_kernel_counters
+
+        reset_kernel_counters()
 
     names = args.only or list(ALL_EXPERIMENTS)
     out_dir = pathlib.Path(args.out) if args.out else None
@@ -99,6 +109,16 @@ def main(argv=None) -> int:
         f"hits, {stats.simulate_calls} simulator calls"
         + ("" if args.no_cache else f" (disk: {cache_dir()})")
     )
+    if args.profile_kernels:
+        from repro.setops.kernels import kernel_counters
+
+        counters = kernel_counters()
+        print("\nkernel dispatch counters:")
+        if not counters:
+            print("  (no set ops executed in this process — cache hits "
+                  "and sharded workers bypass the local counters)")
+        for key in sorted(counters):
+            print(f"  {key:24s} {counters[key]}")
     return 0
 
 

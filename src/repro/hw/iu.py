@@ -25,6 +25,13 @@ quantities:
 
 This is the hot path of the FINGERS model; everything is closed-form or
 vectorized.
+
+All timing here depends only on the op *input* arrays (kind, source,
+operand) captured by :meth:`repro.hw.pe.BasePE._execute_ops` — never on
+how the functional result was computed.  The adaptive kernel layer
+(:mod:`repro.setops.kernels`, docs/KERNELS.md) may therefore execute the
+op with any kernel: pairing/load tables and every cycle statistic are
+unchanged for every dispatch policy.
 """
 
 from __future__ import annotations

@@ -30,7 +30,7 @@ from repro.hw.noc import NoCModel
 from repro.hw.stats import PEStats
 from repro.mining.engine import filtered_candidates
 from repro.pattern.plan import ExecutionPlan, OpKind
-from repro.setops.merge import apply_op
+from repro.setops.kernels import KernelContext
 
 __all__ = ["Task", "BasePE", "FingersPE", "auto_group_size"]
 
@@ -107,6 +107,10 @@ class BasePE:
         self.dram = dram
         #: Shared interconnect; set by the chip (None = ideal wires).
         self.noc: NoCModel | None = None
+        #: Size-adaptive set-op dispatcher.  Kernel choice is functional
+        #: only (docs/KERNELS.md): timing below derives from the op
+        #: *inputs*, so every dispatch policy yields identical cycles.
+        self.kernels = KernelContext(graph)
         self.now = 0.0
         self.stats = PEStats()
         self.counts = [0] * len(self.plans)
@@ -191,13 +195,16 @@ class BasePE:
                 if op.result_state in done:
                     continue
                 done.add(op.result_state)
-                operand = self.graph.neighbors(task.embedding[op.operand_level])
+                vertex = task.embedding[op.operand_level]
+                operand = self.graph.neighbors(vertex)
                 source = (
                     task.states[op.source_state]
                     if op.source_state is not None
                     else None
                 )
-                task.states[op.result_state] = apply_op(op.kind, source, operand)
+                task.states[op.result_state] = self.kernels.apply_op(
+                    op.kind, source, operand, vertex=vertex
+                )
                 executed.append((op.kind, source, operand))
         return executed
 

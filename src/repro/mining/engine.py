@@ -5,18 +5,33 @@ set-operation schedules materialized incrementally and reused across the
 subtree.  Counting jobs never enumerate the last level; the final
 candidate-set length is added directly (the standard pattern-aware
 optimization, also what the accelerators do).
+
+Two performance layers sit on top of the plain recursion, neither of
+which changes any count (docs/KERNELS.md):
+
+* every set op dispatches through the size-adaptive kernel layer
+  (:class:`repro.setops.kernels.KernelContext`) — merge, gallop, or
+  hub-bitmap kernels chosen per operand shape, all bit-identical;
+* counting jobs take a **vectorized penultimate-level path**: instead of
+  recursing once per child at level ``k - 2`` (the dominant loop for
+  triangle/clique plans), all children's final candidate counts are
+  computed in one pass over the CSR slices, with the symmetry-breaking
+  lower bounds applied through a single vectorized ``searchsorted``
+  (:class:`_PenultimateBatcher`).  ``KernelPolicy(batch_penultimate=
+  False)`` restores the per-child recursion for oracle comparisons.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.pattern.multipattern import MultiPlan
-from repro.pattern.plan import ExecutionPlan
-from repro.setops.merge import apply_op, exclude_values, lower_bound_filter
+from repro.pattern.plan import ExecutionPlan, OpKind
+from repro.setops.kernels import KernelContext, KernelPolicy, _tally
+from repro.setops.merge import exclude_values, lower_bound_filter
 
 __all__ = [
     "count_embeddings",
@@ -59,12 +74,229 @@ def _iter_roots(graph: CSRGraph, roots: Iterable[int] | None) -> Iterable[int]:
     return roots
 
 
+def _member(values: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Boolean membership of ``values`` elements in sorted ``table``."""
+    if table.size == 0:
+        return np.zeros(values.size, dtype=bool)
+    idx = np.searchsorted(table, values)
+    idx[idx == table.size] = 0
+    return table[idx] == values
+
+
+class _PenultimateBatcher:
+    """Vectorized counting of all level-``k-1`` candidates per subtree.
+
+    At level ``k - 2`` the plain recursion appends each child ``v``,
+    runs the level's schedule (whose only child-dependent operand is
+    ``N(v)``), filters, and adds the final candidate count.  Because
+    intersections and subtractions with *fixed* (ancestor) operands
+    commute with the single ``N(v)`` op, the child-independent part of
+    the schedule can be hoisted out of the loop and the per-child counts
+    reduce to one pass over the children's CSR slices:
+
+    * ``N(v)``-side predicates (membership in the hoisted source set,
+      fixed-operand masks, the per-child lower bound, injectivity
+      excludes) evaluate on the concatenated neighbor slices;
+    * for subtraction-shaped schedules the surviving-count per child is
+      ``|S'| - searchsorted(S', lb_v)`` — one vectorized
+      ``searchsorted`` over all children — minus the matching slice
+      probes.
+
+    The batcher is built once per run (``None`` when the plan's
+    penultimate schedule is not a linear chain with exactly one
+    child-dependent op — then the engine falls back to recursion), and
+    produces exactly the counts the recursion produces.
+    """
+
+    def __init__(
+        self, graph: CSRGraph, plan: ExecutionPlan, ctx: KernelContext
+    ) -> None:
+        self.graph = graph
+        self.plan = plan
+        self.ctx = ctx
+        k = plan.num_levels
+        sched = plan.levels[k - 2]
+        self.ops = sched.ops
+        self.v_idx: int | None = None
+        for i, op in enumerate(self.ops):
+            if op.operand_level == k - 2:
+                self.v_idx = i if self.v_idx is None else -1
+        self.mode = {
+            OpKind.INIT_COPY: "copy",
+            OpKind.INTERSECT: "intersect",
+            OpKind.SUBTRACT: "subtract",
+            OpKind.ANTI_SUBTRACT: "subtract",
+        }[self.ops[self.v_idx].kind] if self.v_idx not in (None, -1) else ""
+        bounds = plan.lower_bound_levels(k - 1)
+        self.fixed_bounds = tuple(b for b in bounds if b < k - 2)
+        self.self_bound = (k - 2) in bounds
+        excludes = plan.exclude_levels(k - 1)
+        self.fixed_excludes = tuple(d for d in excludes if d < k - 2)
+        self.self_exclude = (k - 2) in excludes
+
+    @staticmethod
+    def build(
+        graph: CSRGraph, plan: ExecutionPlan, ctx: KernelContext
+    ) -> "_PenultimateBatcher | None":
+        if not ctx.policy.batch_penultimate or plan.num_levels < 3:
+            return None
+        sched = plan.levels[plan.num_levels - 2]
+        ops = sched.ops
+        if not ops or sched.extend_state != ops[-1].result_state:
+            return None
+        produced = {op.result_state for op in ops}
+        for i, op in enumerate(ops):
+            if i == 0:
+                if op.source_state is not None and op.source_state in produced:
+                    return None
+            elif op.source_state != ops[i - 1].result_state:
+                return None
+        batcher = _PenultimateBatcher(graph, plan, ctx)
+        if batcher.v_idx in (None, -1):
+            return None
+        if batcher.mode == "copy" and batcher.v_idx != 0:
+            return None
+        return batcher
+
+    def count(
+        self,
+        cand: np.ndarray,
+        embedding: Sequence[int],
+        states: dict[int, np.ndarray],
+    ) -> int:
+        """Total level-``k-1`` candidates over all children in ``cand``."""
+        if cand.size == 0:
+            return 0
+        _tally("batch/invocations")
+        _tally("batch/children", int(cand.size))
+        graph = self.graph
+        k2 = self.plan.num_levels - 2
+
+        # Hoist the child-independent ops: run the chain once with the
+        # N(v) op replaced by a pass-through (legal because fixed-operand
+        # intersections/subtractions commute with it).  ``mask_ops`` are
+        # the fixed ops downstream of an INIT_COPY N(v), which become
+        # per-element predicates instead.
+        local: dict[int, np.ndarray] = {}
+        mask_ops: list[tuple[OpKind, np.ndarray]] = []
+        for i, op in enumerate(self.ops):
+            operand_vertex = embedding[op.operand_level] if i != self.v_idx else None
+            if i == self.v_idx:
+                if op.source_state is not None:
+                    src = local.get(op.source_state)
+                    if src is None:
+                        src = states[op.source_state]
+                    local[op.result_state] = src
+                continue
+            operand = graph.neighbors(operand_vertex)
+            if self.mode == "copy":
+                mask_ops.append((op.kind, operand))
+                continue
+            src = None
+            if op.source_state is not None:
+                src = local.get(op.source_state)
+                if src is None:
+                    src = states[op.source_state]
+            local[op.result_state] = self.ctx.apply_op(
+                op.kind, src, operand, vertex=operand_vertex
+            )
+
+        # Per-child symmetry-breaking lower bound (exclusive).
+        lb_fixed = (
+            max(embedding[b] for b in self.fixed_bounds)
+            if self.fixed_bounds
+            else -1
+        )
+        lbs = np.maximum(cand, np.int32(lb_fixed)) if self.self_bound else None
+        excl_ids = [embedding[d] for d in self.fixed_excludes]
+
+        # Concatenate the children's neighbor slices (one gather).
+        indptr, indices = graph.indptr, graph.indices
+        starts = indptr[cand]
+        lens = indptr[cand + 1] - starts
+        total = int(lens.sum())
+        if total:
+            flat_ends = np.cumsum(lens)
+            flat_starts = flat_ends - lens
+            pos = (
+                np.arange(total, dtype=np.int64)
+                - np.repeat(flat_starts, lens)
+                + np.repeat(starts, lens)
+            )
+            flat = indices[pos]
+        else:
+            flat = indices[:0]
+
+        if self.mode in ("copy", "intersect"):
+            if total == 0:
+                return 0
+            if self.mode == "intersect":
+                s_prime = local[self.ops[-1].result_state]
+                keep = _member(flat, s_prime)
+            else:
+                keep = np.ones(total, dtype=bool)
+                for kind, operand in mask_ops:
+                    hit = _member(flat, operand)
+                    keep &= hit if kind is OpKind.INTERSECT else ~hit
+            if lbs is not None:
+                keep &= flat > np.repeat(lbs, lens)
+            elif lb_fixed >= 0:
+                keep &= flat > lb_fixed
+            for e in excl_ids:
+                keep &= flat != e
+            # ``flat == v`` for the slice's own child cannot happen (no
+            # self loops), so the k-2 injectivity exclude is free here.
+            return int(np.count_nonzero(keep))
+
+        # Subtraction-shaped schedule: extend = S' − N(v).  Count the
+        # bound-surviving suffix of S' per child (single vectorized
+        # searchsorted over all children), then remove the elements that
+        # the slice probes show are in N(v), plus the injectivity hits.
+        s_prime = local[self.ops[-1].result_state]
+        if s_prime.size == 0:
+            return 0
+        if lbs is not None:
+            le = np.searchsorted(s_prime, lbs, side="right")
+            first = int(cand.size) * int(s_prime.size) - int(le.sum())
+        elif lb_fixed >= 0:
+            le_scalar = int(np.searchsorted(s_prime, lb_fixed, side="right"))
+            first = int(cand.size) * (int(s_prime.size) - le_scalar)
+        else:
+            first = int(cand.size) * int(s_prime.size)
+        removed = 0
+        for e in excl_ids:
+            i = int(np.searchsorted(s_prime, e))
+            if i < s_prime.size and int(s_prime[i]) == e:
+                if lbs is not None:
+                    removed += int(np.count_nonzero(e > lbs))
+                elif e > lb_fixed:
+                    removed += int(cand.size)
+        if self.self_exclude:
+            hit_self = _member(cand, s_prime)
+            if lbs is not None:
+                hit_self &= cand > lbs  # never true; bounds dominate
+            elif lb_fixed >= 0:
+                hit_self &= cand > lb_fixed
+            removed += int(np.count_nonzero(hit_self))
+        if total:
+            probe = _member(flat, s_prime)
+            if lbs is not None:
+                probe &= flat > np.repeat(lbs, lens)
+            elif lb_fixed >= 0:
+                probe &= flat > lb_fixed
+            for e in excl_ids:
+                probe &= flat != e
+            removed += int(np.count_nonzero(probe))
+        return first - removed
+
+
 def count_embeddings(
     graph: CSRGraph,
     plan: ExecutionPlan,
     *,
     roots: Iterable[int] | None = None,
     jobs: int | None = None,
+    kernels: KernelPolicy | None = None,
 ) -> int:
     """Number of embeddings of the plan's pattern in ``graph``.
 
@@ -78,9 +310,15 @@ def count_embeddings(
     ``jobs`` shards the roots across that many worker processes
     (``repro.parallel``); the total is identical for every value since
     per-root counts merge by addition.
+
+    ``kernels`` tunes the set-operation dispatch layer for this run
+    (docs/KERNELS.md); every policy returns the identical count.  With
+    ``jobs`` the workers use the default policy.
     """
     total = 0
-    for root, sub in per_root_counts(graph, plan, roots=roots, jobs=jobs):
+    for root, sub in per_root_counts(
+        graph, plan, roots=roots, jobs=jobs, kernels=kernels
+    ):
         total += sub
     return total
 
@@ -91,6 +329,7 @@ def per_root_counts(
     *,
     roots: Iterable[int] | None = None,
     jobs: int | None = None,
+    kernels: KernelPolicy | None = None,
 ) -> Iterator[tuple[int, int]]:
     """Yield ``(root, count)`` per search tree — the unit of coarse-grained
     parallelism the accelerators schedule across PEs.
@@ -108,6 +347,8 @@ def per_root_counts(
         for root in _iter_roots(graph, roots):
             yield root, 1
         return
+    ctx = KernelContext(graph, kernels)
+    batcher = _PenultimateBatcher.build(graph, plan, ctx)
     states: dict[int, np.ndarray] = {}
     embedding: list[int] = []
 
@@ -116,17 +357,22 @@ def per_root_counts(
         # schedule and extend (or count) the next level.
         sched = plan.levels[level]
         for op in sched.ops:
-            operand = graph.neighbors(embedding[op.operand_level])
+            vertex = embedding[op.operand_level]
+            operand = graph.neighbors(vertex)
             source = (
                 states[op.source_state] if op.source_state is not None else None
             )
-            states[op.result_state] = apply_op(op.kind, source, operand)
+            states[op.result_state] = ctx.apply_op(
+                op.kind, source, operand, vertex=vertex
+            )
         nxt = level + 1
         cand = filtered_candidates(
             plan, nxt, states[sched.extend_state], embedding
         )
         if nxt == k - 1:
             return int(cand.size)
+        if nxt == k - 2 and batcher is not None:
+            return batcher.count(cand, embedding, states)
         subtotal = 0
         for v in cand:
             embedding.append(int(v))
@@ -147,6 +393,7 @@ def list_embeddings(
     roots: Iterable[int] | None = None,
     limit: int | None = None,
     jobs: int | None = None,
+    kernels: KernelPolicy | None = None,
 ) -> list[tuple[int, ...]]:
     """All embeddings as level-ordered vertex tuples (one per class).
 
@@ -156,6 +403,9 @@ def list_embeddings(
     ``jobs`` shards the roots across worker processes; chunks are
     contiguous in root order, so the merged list (and ``limit``
     truncation applied after the merge) equals the serial list exactly.
+
+    Listing materializes every embedding, so the penultimate batch
+    counter does not apply; the adaptive kernels still do.
     """
     if jobs is not None and jobs > 1:
         from repro.core.sharded import list_embeddings_parallel
@@ -169,17 +419,21 @@ def list_embeddings(
             if limit is not None and len(out) >= limit:
                 break
         return out
+    ctx = KernelContext(graph, kernels)
     states: dict[int, np.ndarray] = {}
     embedding: list[int] = []
 
     def explore(level: int) -> bool:
         sched = plan.levels[level]
         for op in sched.ops:
-            operand = graph.neighbors(embedding[op.operand_level])
+            vertex = embedding[op.operand_level]
+            operand = graph.neighbors(vertex)
             source = (
                 states[op.source_state] if op.source_state is not None else None
             )
-            states[op.result_state] = apply_op(op.kind, source, operand)
+            states[op.result_state] = ctx.apply_op(
+                op.kind, source, operand, vertex=vertex
+            )
         nxt = level + 1
         cand = filtered_candidates(
             plan, nxt, states[sched.extend_state], embedding
@@ -213,15 +467,18 @@ def count_multi(
     *,
     roots: Iterable[int] | None = None,
     jobs: int | None = None,
+    kernels: KernelPolicy | None = None,
 ) -> dict[str, int]:
     """Counts for every pattern of a multi-pattern plan in one pass.
 
     Processes each root once; plans share the root's level-0 states via
     the unified state namespace (the merged trunk of paper section 4).
-    ``jobs`` is forwarded to each per-plan count.
+    ``jobs`` and ``kernels`` are forwarded to each per-plan count.
     """
     root_list = list(roots) if roots is not None else None
     totals = {name: 0 for name in multi.names}
     for name, plan in zip(multi.names, multi.plans):
-        totals[name] += count_embeddings(graph, plan, roots=root_list, jobs=jobs)
+        totals[name] += count_embeddings(
+            graph, plan, roots=root_list, jobs=jobs, kernels=kernels
+        )
     return totals

@@ -11,7 +11,11 @@ are one-pass merges (paper section 2.1).  This package provides:
   (paper sections 3.4 and 4.2);
 * :mod:`repro.setops.bitvector` — the intersect-unit datapath and the
   bitwise-OR result aggregation of paper section 4.3, validated against
-  the merge primitives by the test suite.
+  the merge primitives by the test suite;
+* :mod:`repro.setops.kernels` — the size-adaptive kernel dispatch layer
+  (merge / gallop / hub-bitmap) used by the engine and simulators for
+  functional results; bit-identical to the merge primitives
+  (docs/KERNELS.md).
 """
 
 from repro.setops.merge import (
@@ -36,6 +40,16 @@ from repro.setops.bitvector import (
     aggregate_or,
     segmented_set_op,
 )
+from repro.setops.kernels import (
+    KERNEL_NAMES,
+    KernelContext,
+    KernelPolicy,
+    DEFAULT_POLICY,
+    intersect_adaptive,
+    subtract_adaptive,
+    kernel_counters,
+    reset_kernel_counters,
+)
 
 __all__ = [
     "intersect",
@@ -54,4 +68,12 @@ __all__ = [
     "intersect_bitvector",
     "aggregate_or",
     "segmented_set_op",
+    "KERNEL_NAMES",
+    "KernelContext",
+    "KernelPolicy",
+    "DEFAULT_POLICY",
+    "intersect_adaptive",
+    "subtract_adaptive",
+    "kernel_counters",
+    "reset_kernel_counters",
 ]

@@ -87,14 +87,26 @@ def lower_bound_filter(values: np.ndarray, bound: int) -> np.ndarray:
 
 
 def exclude_values(values: np.ndarray, forbidden: Iterable[int]) -> np.ndarray:
-    """Remove specific ids (the injectivity filter for reused ancestors)."""
+    """Remove specific ids (the injectivity filter for reused ancestors).
+
+    One vectorized mask pass: each forbidden id is located with a binary
+    search and the hits are dropped together, instead of one ``np.delete``
+    copy per id (which is O(k·n) and sits on every level with excludes).
+    """
     values = _as_ids(values)
-    out = values
-    for f in forbidden:
-        i = int(np.searchsorted(out, f))
-        if i < out.size and int(out[i]) == f:
-            out = np.delete(out, i)
-    return out
+    if values.size == 0:
+        return values
+    ids = np.fromiter(forbidden, dtype=np.int64)
+    if ids.size == 0:
+        return values
+    pos = np.searchsorted(values, ids)
+    pos[pos == values.size] = 0
+    hits = pos[values[pos] == ids]
+    if hits.size == 0:
+        return values
+    keep = np.ones(values.size, dtype=bool)
+    keep[hits] = False
+    return values[keep]
 
 
 # ----------------------------------------------------------------------

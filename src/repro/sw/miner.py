@@ -1,7 +1,9 @@
 """Cycle-approximate multi-core software miner with work stealing.
 
 Each core executes the plan IR task by task, exactly like the hardware
-PEs (it reuses :class:`repro.hw.pe.BasePE`'s traversal), but with
+PEs (it reuses :class:`repro.hw.pe.BasePE`'s traversal, including its
+size-adaptive set-op dispatch — functional results only, the cost model
+below is untouched; see docs/KERNELS.md), but with
 software costs: merges at ``elements_per_cycle``, a per-task scheduling
 overhead, and — under branch granularity — a steal latency whenever an
 idle core takes work from another core's deque.  Steals take the

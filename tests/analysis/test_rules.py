@@ -270,6 +270,88 @@ def test_arch001_non_repro_source_is_clean():
 
 
 # ----------------------------------------------------------------------
+# PERF001 — array-copy churn inside loops
+# ----------------------------------------------------------------------
+
+
+def test_perf001_np_delete_in_for_loop():
+    src = (
+        "import numpy as np\n"
+        "def drop(values, forbidden):\n"
+        "    for f in forbidden:\n"
+        "        values = np.delete(values, np.searchsorted(values, f))\n"
+        "    return values\n"
+    )
+    assert rules_fired(src, module="repro.setops.snippet") == ["PERF001"]
+
+
+def test_perf001_np_append_in_while_loop():
+    src = (
+        "import numpy as np\n"
+        "def grow(out, feed):\n"
+        "    while feed:\n"
+        "        out = np.append(out, feed.pop(0))\n"
+        "    return out\n"
+    )
+    assert rules_fired(src, module="repro.hw.snippet") == ["PERF001"]
+
+
+def test_perf001_from_import_alias_fires():
+    src = (
+        "from numpy import delete as np_delete\n"
+        "def drop(values, idxs):\n"
+        "    for i in idxs:\n"
+        "        values = np_delete(values, i)\n"
+        "    return values\n"
+    )
+    assert rules_fired(src, module="repro.mining.snippet") == ["PERF001"]
+
+
+def test_perf001_nested_loop_fires_once():
+    src = (
+        "import numpy as np\n"
+        "def churn(rows):\n"
+        "    for row in rows:\n"
+        "        for i in row:\n"
+        "            row = np.delete(row, i)\n"
+        "    return rows\n"
+    )
+    assert rules_fired(src, module="repro.setops.snippet") == ["PERF001"]
+
+
+def test_perf001_outside_loop_is_clean():
+    src = (
+        "import numpy as np\n"
+        "def drop_one(values, i):\n"
+        "    return np.delete(values, i)\n"
+    )
+    assert rules_fired(src, module="repro.setops.snippet") == []
+
+
+def test_perf001_not_applied_outside_hot_packages():
+    src = (
+        "import numpy as np\n"
+        "def churn(values, idxs):\n"
+        "    for i in idxs:\n"
+        "        values = np.delete(values, i)\n"
+        "    return values\n"
+    )
+    assert rules_fired(src, module="repro.graph.snippet") == []
+
+
+def test_perf001_vectorized_mask_is_clean():
+    src = (
+        "import numpy as np\n"
+        "def drop(values, forbidden):\n"
+        "    keep = np.ones(values.size, dtype=bool)\n"
+        "    for f in forbidden:\n"
+        "        keep &= values != f\n"
+        "    return values[keep]\n"
+    )
+    assert rules_fired(src, module="repro.setops.snippet") == []
+
+
+# ----------------------------------------------------------------------
 # HYG001 / HYG002 — hygiene
 # ----------------------------------------------------------------------
 
@@ -345,7 +427,7 @@ def test_rule_catalog_ids_unique_and_documented():
     ids = [r.id for r in rules]
     assert len(ids) == len(set(ids))
     assert {"DET001", "DET002", "DET003", "PAR001", "CACHE001",
-            "ARCH001", "HYG001", "HYG002"} <= set(ids)
+            "ARCH001", "PERF001", "HYG001", "HYG002"} <= set(ids)
     assert all(r.summary for r in rules)
 
 

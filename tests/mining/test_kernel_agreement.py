@@ -1,0 +1,90 @@
+"""Agreement sweep: every kernel policy counts identically.
+
+The dispatch layer's contract (docs/KERNELS.md) is that kernel choice,
+hub bitmaps, and the penultimate batch counter are *functional-only*:
+for all 11 built-in patterns, both induced semantics, and any policy
+(forced kernels, shifted thresholds, aggressive hubs, batching off) the
+counts are bit-identical to the legacy merge-and-recurse configuration.
+"""
+
+import pytest
+
+from repro.graph.generators import barabasi_albert, erdos_renyi
+from repro.mining.engine import count_embeddings, list_embeddings
+from repro.pattern.compiler import compile_plan
+from repro.pattern.pattern import all_named_patterns, named_pattern
+from repro.setops.kernels import KernelPolicy
+
+#: The pre-kernel-layer execution shape: sort-based merges, per-child
+#: recursion at every level.
+LEGACY = KernelPolicy(force_kernel="merge", batch_penultimate=False)
+
+POLICIES = {
+    "default": None,
+    "force-merge": KernelPolicy(force_kernel="merge"),
+    "force-gallop": KernelPolicy(force_kernel="gallop"),
+    "force-bitmap": KernelPolicy(force_kernel="bitmap"),
+    "batch-off": KernelPolicy(batch_penultimate=False),
+    "gallop-always": KernelPolicy(gallop_ratio=1.0, gallop_min_large=1),
+    "hubs-aggressive": KernelPolicy(
+        hub_min_degree=1, hub_max_hubs=4096, hub_memory_bytes=32 << 20
+    ),
+    "hubs-off": KernelPolicy(use_hub_bitmaps=False),
+}
+
+GRAPHS = {
+    "er": erdos_renyi(90, 0.15, seed=7),
+    "ba": barabasi_albert(110, 5, seed=3),
+}
+
+
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+@pytest.mark.parametrize("vertex_induced", [True, False])
+@pytest.mark.parametrize("pattern", sorted(all_named_patterns()))
+def test_counts_identical_across_policies(pattern, vertex_induced, graph_name):
+    graph = GRAPHS[graph_name]
+    plan = compile_plan(
+        named_pattern(pattern), vertex_induced=vertex_induced
+    )
+    reference = count_embeddings(graph, plan, kernels=LEGACY)
+    for name, policy in POLICIES.items():
+        got = count_embeddings(graph, plan, kernels=policy)
+        assert got == reference, (
+            f"{pattern} vertex_induced={vertex_induced} on {graph_name}: "
+            f"policy {name} counted {got}, legacy counted {reference}"
+        )
+
+
+@pytest.mark.parametrize("pattern", ["tc", "4cl", "tt", "house"])
+def test_listing_identical_across_policies(pattern):
+    graph = GRAPHS["ba"]
+    plan = compile_plan(named_pattern(pattern))
+    reference = list_embeddings(graph, plan, kernels=LEGACY)
+    for name, policy in POLICIES.items():
+        got = list_embeddings(graph, plan, kernels=policy)
+        assert got == reference, f"policy {name} listed differently"
+
+
+def test_default_policy_equals_explicit_none():
+    graph = GRAPHS["er"]
+    plan = compile_plan(named_pattern("tt"))
+    assert count_embeddings(graph, plan) == count_embeddings(
+        graph, plan, kernels=KernelPolicy()
+    )
+
+
+def test_sharded_counts_match_kernel_policies():
+    """Workers use the default policy; totals must match any local policy."""
+    graph = GRAPHS["ba"]
+    plan = compile_plan(named_pattern("4cl"))
+    serial = count_embeddings(graph, plan, kernels=LEGACY)
+    assert count_embeddings(graph, plan, jobs=2) == serial
+
+
+def test_batcher_respects_roots_subset():
+    graph = GRAPHS["er"]
+    plan = compile_plan(named_pattern("tc"))
+    roots = [0, 5, 9, 44]
+    assert count_embeddings(graph, plan, roots=roots) == count_embeddings(
+        graph, plan, roots=roots, kernels=LEGACY
+    )
