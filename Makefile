@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: install test bench bench-fast bench-kernels examples clean loc lint check
+.PHONY: install test bench bench-fast bench-kernels bench-sweep examples clean loc lint check
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -25,6 +25,12 @@ bench-cli:
 bench-kernels:
 	$(PYTHON) -m pytest benchmarks/test_kernels.py --benchmark-only
 
+# Declarative sweep -> result store -> markdown/HTML report
+# (docs/BENCHMARKS.md).  Resumable: a warm re-run executes zero cells.
+bench-sweep:
+	$(PYTHON) -m repro exp run examples/sweeps/smoke.toml
+	$(PYTHON) -m repro exp report smoke
+
 examples:
 	$(PYTHON) examples/quickstart.py
 	$(PYTHON) examples/social_motif_census.py
@@ -32,6 +38,7 @@ examples:
 	$(PYTHON) examples/design_space_exploration.py
 	$(PYTHON) examples/trace_and_validate.py
 	$(PYTHON) examples/software_vs_hardware.py
+	$(PYTHON) examples/run_sweep.py
 
 # Static analysis: the in-tree linter + plan verifier always run; ruff
 # and mypy run only where installed (the container image does not ship

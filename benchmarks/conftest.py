@@ -17,13 +17,17 @@ import pathlib
 
 import pytest
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+from repro.bench.paths import results_dir as _canonical_results_dir
+
+# Resolved through repro.bench.paths so CLI sweeps, ``repro exp``, and
+# pytest invocations from any CWD agree on one location (and tests can
+# redirect everything with REPRO_RESULTS_DIR).
+RESULTS_DIR = _canonical_results_dir()
 
 
 @pytest.fixture(scope="session")
 def results_dir() -> pathlib.Path:
-    RESULTS_DIR.mkdir(exist_ok=True)
-    return RESULTS_DIR
+    return _canonical_results_dir(create=True)
 
 
 @pytest.fixture

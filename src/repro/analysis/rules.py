@@ -10,6 +10,7 @@ PAR001     error     lambda / nested-function handed to the worker pool
 CACHE001   error     config dataclass field escaping the cache schema hash
 ARCH001    error     simulator entry point imported around the backend registry
 PERF001    error     ``np.delete``/``np.append`` inside a loop in a hot path
+STORE001   error     result file written around the experiment store
 HYG001     warning   mutable default argument
 HYG002     warning   bare ``except:``
 =========  ========  ==========================================================
@@ -543,6 +544,82 @@ PERF001 = register(
         summary="np.delete/np.append inside a loop on the hot path",
         scope=PERF_HOT_PACKAGES,
         check=_check_perf001,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# STORE001 — result files written around the experiment store
+# ----------------------------------------------------------------------
+
+#: Packages whose file writes are benchmark results by construction.
+RESULT_WRITER_PACKAGES = ("repro.bench", "repro.experiments")
+
+#: The two modules that own result persistence: the schema'd store and
+#: its report writer (docs/BENCHMARKS.md).
+_STORE001_ALLOWED = ("repro.experiments.store", "repro.experiments.report")
+
+_WRITE_METHODS = {"write_text", "write_bytes"}
+
+
+def _open_write_mode(call: ast.Call, *, mode_pos: int) -> str | None:
+    """The write-ish mode string of an ``open``-style call, if any."""
+    mode = None
+    if len(call.args) > mode_pos and isinstance(
+        call.args[mode_pos], ast.Constant
+    ):
+        mode = call.args[mode_pos].value
+    for kw in call.keywords:
+        if kw.arg == "mode" and isinstance(kw.value, ast.Constant):
+            mode = kw.value.value
+    if isinstance(mode, str) and any(ch in mode for ch in "wax+"):
+        return mode
+    return None
+
+
+def _check_store001(tree: ast.Module, ctx: ModuleContext) -> Iterator[Finding]:
+    if (ctx.module or "") in _STORE001_ALLOWED:
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        message = None
+        # Method calls are matched on the attribute name alone: the
+        # receiver is often a computed expression (`(dir / name)
+        # .write_text(...)`) that no name chain can describe.
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr in _WRITE_METHODS:
+                message = f"`.{node.func.attr}(...)`"
+            elif node.func.attr == "open":
+                mode = _open_write_mode(node, mode_pos=0)
+                if mode is not None:
+                    message = f"`.open({mode!r})`"
+        elif attr_chain(node.func) == ("open",):
+            mode = _open_write_mode(node, mode_pos=1)
+            if mode is not None:
+                message = f"`open(..., {mode!r})`"
+        if message is None:
+            continue
+        found = ctx.finding(
+            STORE001,
+            node,
+            f"file write {message} in a benchmark/experiment module "
+            "bypasses the schema'd result store; append ResultRow records "
+            "via repro.experiments.store (or emit through its report "
+            "writer) so every number carries provenance "
+            "(docs/BENCHMARKS.md)",
+        )
+        if found is not None:
+            yield found
+
+
+STORE001 = register(
+    Rule(
+        id="STORE001",
+        severity=Severity.ERROR,
+        summary="benchmark result written around the experiment store",
+        scope=RESULT_WRITER_PACKAGES,
+        check=_check_store001,
     )
 )
 

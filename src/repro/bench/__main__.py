@@ -5,7 +5,8 @@ software study) in one process so the run cache is shared, printing each
 rendered result and optionally writing them to a directory::
 
     python -m repro.bench                  # print everything
-    python -m repro.bench --out results/   # also write one .txt per exp
+    python -m repro.bench --out            # also write one .txt per exp
+                                           # to benchmarks/results/
     python -m repro.bench --only fig9 fig12
     python -m repro.bench --jobs 8         # shard roots over 8 processes
     python -m repro.bench --no-cache       # ignore the persistent cache
@@ -58,7 +59,11 @@ ALL_EXPERIMENTS = {
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro.bench")
-    parser.add_argument("--out", help="directory for per-experiment .txt files")
+    parser.add_argument(
+        "--out", nargs="?", const="", metavar="DIR",
+        help="write one .txt per experiment; bare --out targets the "
+             "canonical results dir (repro.bench.paths.results_dir)",
+    )
     parser.add_argument(
         "--only", nargs="+", choices=sorted(ALL_EXPERIMENTS),
         help="run only these experiments",
@@ -88,8 +93,11 @@ def main(argv=None) -> int:
         reset_kernel_counters()
 
     names = args.only or list(ALL_EXPERIMENTS)
-    out_dir = pathlib.Path(args.out) if args.out else None
-    if out_dir:
+    out_dir = None
+    if args.out is not None:
+        from repro.bench.paths import results_dir
+
+        out_dir = pathlib.Path(args.out) if args.out else results_dir()
         out_dir.mkdir(parents=True, exist_ok=True)
 
     for name in names:

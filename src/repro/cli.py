@@ -13,6 +13,9 @@ Subcommands
 ``bench``      Run one named experiment (table1 ... fig13, table3,
                ablation-*) and print the paper-shaped output.
 ``cache``      Inspect or clear the persistent result cache.
+``exp``        Experiment platform: run declarative sweeps into the
+               result store, generate reports, diff runs against
+               baselines (docs/BENCHMARKS.md).
 ``lint``       Static determinism/parallel-safety linter (docs/ANALYSIS.md).
 ``lint-plan``  Statically verify compiled execution plans.
 
@@ -28,6 +31,9 @@ Examples::
     python -m repro plan tt
     python -m repro compare cyc --dataset As --pes 1 --jobs 4
     python -m repro bench table2
+    python -m repro exp run examples/sweeps/smoke.toml
+    python -m repro exp report smoke
+    python -m repro exp diff kernels-baseline kernels-current
     python -m repro cache info
     python -m repro lint --json
     python -m repro lint-plan --all
@@ -174,6 +180,80 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "action", choices=["info", "clear", "path"],
         help="info: entries and size; clear: delete entries; path: print dir",
+    )
+
+    p = sub.add_parser(
+        "exp",
+        help="experiment sweeps, result store, reports, regression diffs "
+             "(docs/BENCHMARKS.md)",
+    )
+    exp_sub = p.add_subparsers(dest="exp_command", required=True)
+
+    q = exp_sub.add_parser(
+        "run", help="execute a sweep spec into the result store"
+    )
+    q.add_argument("spec", help="sweep spec file (.toml or .json)")
+    q.add_argument(
+        "--run", default=None, metavar="NAME",
+        help="store run name (default: the spec's sweep.name)",
+    )
+    q.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="store directory (default: benchmarks/results/store)",
+    )
+    q.add_argument(
+        "--no-resume", action="store_true",
+        help="re-execute cells even when already present in the run",
+    )
+    _add_parallel_args(q)
+
+    q = exp_sub.add_parser(
+        "report", help="render a stored run as markdown + HTML"
+    )
+    q.add_argument("run", help="run name in the store")
+    q.add_argument("--store", default=None, metavar="DIR")
+    q.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="output directory (default: benchmarks/results/reports)",
+    )
+    q.add_argument(
+        "--format", choices=["md", "html"], action="append", default=None,
+        help="emit only this format (repeatable; default: both)",
+    )
+
+    q = exp_sub.add_parser(
+        "diff", help="compare a run against a baseline run (exit 1 on "
+                     "regression)"
+    )
+    q.add_argument("baseline", help="baseline run name")
+    q.add_argument("current", help="run name to check")
+    q.add_argument("--store", default=None, metavar="DIR")
+    q.add_argument(
+        "--threshold", type=float, default=1.25, metavar="R",
+        help="cycles/metrics regression ratio (default: 1.25)",
+    )
+    q.add_argument(
+        "--wall-threshold", type=float, default=1.5, metavar="R",
+        help="wall-time regression ratio (default: 1.5; wall time is "
+             "host-noise-prone)",
+    )
+
+    q = exp_sub.add_parser("list", help="list runs in the result store")
+    q.add_argument("--store", default=None, metavar="DIR")
+
+    q = exp_sub.add_parser(
+        "migrate",
+        help="import legacy BENCH_kernels.json / fig10 / ablation files "
+             "as baseline runs",
+    )
+    q.add_argument(
+        "--results", default=None, metavar="DIR",
+        help="legacy results directory (default: benchmarks/results)",
+    )
+    q.add_argument("--store", default=None, metavar="DIR")
+    q.add_argument(
+        "--force", action="store_true",
+        help="replace baseline runs that already exist in the store",
     )
 
     p = sub.add_parser(
@@ -506,6 +586,95 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_exp(args) -> int:
+    from repro.experiments import (
+        ResultStore,
+        SpecError,
+        diff_runs,
+        load_spec_file,
+        migrate_legacy_results,
+        run_sweep,
+        write_report,
+    )
+
+    store = ResultStore(args.store) if args.store else ResultStore()
+
+    if args.exp_command == "run":
+        from repro.bench import runner as _runner
+
+        try:
+            spec = load_spec_file(args.spec)
+        except (SpecError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        _runner.configure(jobs=args.jobs, disk_cache=not args.no_cache)
+
+        def progress(cell, action):
+            print(f"  [{action:6s}] {cell.label}")
+
+        print(f"sweep {spec.name!r}: {len(spec.expand())} cells")
+        outcome = run_sweep(
+            spec, store=store, run=args.run,
+            resume=not args.no_resume, progress=progress,
+        )
+        print(
+            f"run {outcome.run!r}: {outcome.executed} executed, "
+            f"{outcome.resumed} resumed from the store"
+        )
+        return 0
+
+    if args.exp_command == "report":
+        try:
+            paths = write_report(
+                store, args.run, out_dir=args.out,
+                formats=tuple(args.format) if args.format else ("md", "html"),
+            )
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for path in paths:
+            print(path)
+        return 0
+
+    if args.exp_command == "diff":
+        try:
+            baseline_rows = store.load(args.baseline)
+            current_rows = store.load(args.current)
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        report = diff_runs(
+            baseline_rows, current_rows,
+            baseline=args.baseline, current=args.current,
+            cycle_threshold=args.threshold,
+            wall_threshold=args.wall_threshold,
+        )
+        print(report.render())
+        return report.exit_code
+
+    if args.exp_command == "list":
+        runs = store.runs()
+        if not runs:
+            print(f"no runs in {store.root}")
+            return 0
+        for run in runs:
+            rows = store.load(run)
+            print(f"{run:24s} {len(rows):5d} rows")
+        return 0
+
+    # migrate
+    written = migrate_legacy_results(
+        args.results, store, force=args.force
+    )
+    if not written:
+        print("no legacy result files found")
+        return 0
+    for run, count in sorted(written.items()):
+        note = f"{count} rows" if count else "already present (use --force)"
+        print(f"{run:24s} {note}")
+    return 0
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "plan": _cmd_plan,
@@ -517,6 +686,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "backends": _cmd_backends,
     "cache": _cmd_cache,
+    "exp": _cmd_exp,
     "lint": _cmd_lint,
     "lint-plan": _cmd_lint_plan,
 }

@@ -38,6 +38,7 @@ from repro.core.backend import (
     register_backend,
 )
 from repro.core.merge import merge_stats
+from repro.core.provenance import environment_provenance, git_revision
 from repro.core.result import RunResult, merge_run_results
 from repro.core.workload import Workload, resolve_workload
 
@@ -49,7 +50,9 @@ __all__ = [
     "backend_for_config",
     "backend_names",
     "config_signature",
+    "environment_provenance",
     "get_backend",
+    "git_revision",
     "merge_run_results",
     "merge_stats",
     "register_backend",

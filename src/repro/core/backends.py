@@ -19,6 +19,7 @@ from typing import Iterable, Sequence
 
 from repro.core.backend import Backend, register_backend
 from repro.core.result import RunResult
+from repro.setops.kernels import KernelPolicy
 
 __all__ = [
     "FingersBackend",
@@ -155,7 +156,10 @@ class SoftwareBackend(Backend):
 
 @dataclass(frozen=True)
 class FunctionalConfig:
-    """The reference engine has no microarchitecture to configure."""
+    """Reference-engine knobs: no microarchitecture, only the set-op
+    kernel policy (``None`` means the process-wide default policy)."""
+
+    kernels: KernelPolicy | None = None
 
     @property
     def design_name(self) -> str:
@@ -191,7 +195,10 @@ class FunctionalBackend(Backend):
             list(range(graph.num_vertices)) if roots is None else list(roots)
         )
         counts = tuple(
-            count_embeddings(graph, plan, roots=root_list) for plan in plans
+            count_embeddings(
+                graph, plan, roots=root_list, kernels=config.kernels
+            )
+            for plan in plans
         )
         return RunResult(
             backend=self.name,

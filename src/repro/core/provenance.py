@@ -1,0 +1,97 @@
+"""Provenance of a measurement: which code, on which machine.
+
+Every row the experiment store (:mod:`repro.experiments.store`) persists
+carries the environment that produced it, so a number in a report can
+always be traced back to a commit and a host.  The helpers here collect
+the *stable* environment facts — git revision, hostname, interpreter and
+numpy versions, platform string.  Wall-clock timestamps are deliberately
+**not** collected in this module: ``repro.core`` is inside the DET002
+lint scope (modelled results must never read the host clock), so the
+experiment executor — which lives outside every simulation path — stamps
+rows with the submission time itself.
+
+``git_revision`` shells out to ``git``; when that fails (no git binary,
+not a checkout, permission trouble) it degrades to the
+``REPRO_GIT_HASH`` environment variable and finally the literal
+``"unknown"`` — provenance collection must never fail a run.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import socket
+import subprocess
+from pathlib import Path
+
+__all__ = ["environment_provenance", "git_revision"]
+
+#: Rendered in place of a revision when none can be determined.
+UNKNOWN_REVISION = "unknown"
+
+
+def _repo_root() -> Path | None:
+    """The checkout containing this package, if it is a git checkout."""
+    # src/repro/core/provenance.py -> src/repro/core -> src/repro -> src -> root
+    root = Path(__file__).resolve().parents[3]
+    return root if (root / ".git").exists() else None
+
+
+def git_revision(*, cwd: Path | str | None = None) -> str:
+    """The current git commit hash, with a ``+dirty`` suffix for
+    uncommitted changes.
+
+    Resolution order: ``$REPRO_GIT_HASH`` (explicit override for
+    containers that ship without a ``.git`` directory), then
+    ``git rev-parse HEAD`` in ``cwd`` (default: this package's
+    checkout), then :data:`UNKNOWN_REVISION`.
+    """
+    env = os.environ.get("REPRO_GIT_HASH")
+    if env:
+        return env
+    directory = Path(cwd) if cwd is not None else _repo_root()
+    if directory is None:
+        return UNKNOWN_REVISION
+    try:
+        head = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=directory, capture_output=True, text=True, timeout=10,
+        )
+        if head.returncode != 0:
+            return UNKNOWN_REVISION
+        revision = head.stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=directory, capture_output=True, text=True, timeout=10,
+        )
+        if status.returncode == 0 and status.stdout.strip():
+            revision += "+dirty"
+        return revision
+    except (OSError, subprocess.SubprocessError):
+        return UNKNOWN_REVISION
+
+
+def environment_provenance() -> dict[str, str]:
+    """The provenance fields shared by every row of one process's runs.
+
+    Keys (the schema documented in docs/BENCHMARKS.md):
+
+    ``git_hash``
+        :func:`git_revision` — commit hash, ``+dirty`` when the tree has
+        uncommitted changes, ``"unknown"`` outside a checkout.
+    ``hostname``
+        ``socket.gethostname()``.
+    ``python`` / ``numpy``
+        Interpreter and numpy versions.
+    ``platform``
+        ``platform.platform()`` (OS + kernel + architecture).
+    """
+    import numpy
+
+    return {
+        "git_hash": git_revision(),
+        "hostname": socket.gethostname(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+    }

@@ -1,0 +1,161 @@
+"""Resumable sweep executor.
+
+Drives every cell of an expanded sweep through the registry's cached
+runner (:func:`repro.bench.runner.run_backend_cached`) — the exact same
+code path as ``python -m repro.bench`` and the single-run CLI — and
+appends one :class:`~repro.experiments.store.ResultRow` per executed
+cell.  Resumption is keyed on :meth:`Backend.cache_key`: a cell whose
+full cache identity (graph contents, config signature, schedule, roots,
+execution model) already has a row in the target run is skipped without
+touching the simulator, so re-running a finished sweep performs zero
+recomputation.
+
+Each row records two layers of observability alongside the result:
+wall time plus the run-cache hit/miss deltas for the cell, and — for
+functional cells — the set-op kernel dispatch-counter deltas
+(docs/KERNELS.md).  This module sits outside the simulation packages,
+so reading the host clock here is deliberate and lint-clean; modelled
+``cycles`` never depend on it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from typing import Callable, Mapping
+
+from repro.bench.runner import run_backend_cached, runner_stats
+from repro.bench.workloads import roots_for
+from repro.core.backend import config_signature, get_backend
+from repro.core.provenance import environment_provenance
+from repro.experiments.spec import Cell, SweepSpec
+from repro.experiments.store import ResultRow, ResultStore
+from repro.graph.datasets import load_dataset
+from repro.setops.kernels import kernel_counters
+
+__all__ = ["SweepOutcome", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """What one :func:`run_sweep` call did."""
+
+    run: str
+    executed: int
+    resumed: int
+    rows: tuple[ResultRow, ...]
+
+    @property
+    def total(self) -> int:
+        return self.executed + self.resumed
+
+
+def _counter_delta(before: Mapping[str, int], after: Mapping[str, int]):
+    delta = {
+        key: after[key] - before.get(key, 0)
+        for key in after
+        if after[key] != before.get(key, 0)
+    }
+    return delta
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    store: ResultStore | None = None,
+    run: str | None = None,
+    resume: bool = True,
+    disk: bool | None = None,
+    graphs: Mapping[str, object] | None = None,
+    progress: Callable[[Cell, str], None] | None = None,
+) -> SweepOutcome:
+    """Execute every cell of ``spec`` into ``store`` under run ``run``
+    (default: the spec's name).
+
+    ``resume=True`` (the default) skips cells whose cache identity is
+    already in the run.  ``disk`` is forwarded to the cached runner
+    (``None`` = the process-wide :func:`repro.bench.runner.configure`
+    setting).  ``graphs`` maps graph names to preloaded/synthetic
+    :class:`~repro.graph.csr.CSRGraph` objects, bypassing the dataset
+    catalog — used by tests and library callers.  ``progress`` receives
+    ``(cell, "run" | "resume")`` per cell.
+    """
+    store = store if store is not None else ResultStore()
+    run_name = run or spec.name
+    cells = spec.expand()
+    seen = store.keys(run_name) if resume else set()
+    shared_provenance = environment_provenance()
+
+    loaded: dict[str, object] = dict(graphs or {})
+    executed = 0
+    resumed = 0
+    rows: list[ResultRow] = []
+    for cell in cells:
+        if cell.graph not in loaded:
+            loaded[cell.graph] = load_dataset(cell.graph)
+        graph = loaded[cell.graph]
+        backend = get_backend(cell.backend)
+        config = spec.config_for(cell)
+        roots = roots_for(cell.graph, graph)
+        cell_key = backend.cache_key(
+            graph, cell.pattern, config,
+            roots=roots, schedule=cell.schedule,
+            model="single-chip" if cell.jobs is None else "sharded",
+        )
+        if cell_key in seen:
+            resumed += 1
+            if progress is not None:
+                progress(cell, "resume")
+            continue
+
+        stats_before = runner_stats()
+        kernels_before = kernel_counters()
+        start = time.perf_counter()
+        result = run_backend_cached(
+            backend, graph, cell.graph, cell.pattern, config,
+            roots=roots, schedule=cell.schedule, jobs=cell.jobs, disk=disk,
+        )
+        wall_time = time.perf_counter() - start
+        stats_after = runner_stats()
+        kernels_after = kernel_counters()
+
+        row = ResultRow(
+            run=run_name,
+            cell_key=cell_key,
+            pattern=cell.pattern,
+            graph=cell.graph,
+            backend=cell.backend,
+            policy=cell.policy,
+            jobs=cell.jobs,
+            schedule=cell.schedule,
+            workload=result.workload,
+            config_signature=config_signature(config),
+            count=result.count,
+            counts=tuple(int(c) for c in result.counts),
+            cycles=float(result.cycles),
+            wall_time_s=wall_time,
+            dispatch=_counter_delta(kernels_before, kernels_after),
+            cache={
+                "memo_hits": stats_after.memo_hits - stats_before.memo_hits,
+                "disk_hits": stats_after.disk_hits - stats_before.disk_hits,
+                "simulate_calls": (
+                    stats_after.simulate_calls - stats_before.simulate_calls
+                ),
+            },
+            provenance={
+                **shared_provenance,
+                "timestamp": datetime.now(timezone.utc).isoformat(
+                    timespec="seconds"
+                ),
+            },
+        )
+        store.append(row)
+        seen.add(cell_key)
+        rows.append(row)
+        executed += 1
+        if progress is not None:
+            progress(cell, "run")
+    return SweepOutcome(
+        run=run_name, executed=executed, resumed=resumed, rows=tuple(rows)
+    )

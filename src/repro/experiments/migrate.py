@@ -1,0 +1,237 @@
+"""One-time migration of the legacy ad-hoc result files into the store.
+
+Before the store existed, perf evidence lived in three shapes under
+``benchmarks/results/``: the hand-rolled ``BENCH_kernels.json`` (kernel
+end-to-end + microbenchmark timings), the ``fig10_overall.txt`` speedup
+grid, and the ``ablation_*.txt`` fixed-width tables.  This module
+parses each into :class:`~repro.experiments.store.ResultRow` records so
+they become the first named baselines (``kernels-baseline``,
+``fig10-baseline``, ``ablations-baseline``) that ``repro exp diff``
+checks against.
+
+Migrated rows are reconstructions, not fresh measurements: their
+``cell_key`` is a synthetic ``migrated:`` digest of the row identity
+(stable across re-migrations), and their provenance records the source
+file.  Timing columns land in ``wall_time_s``/``cycles``; speedup-style
+columns land in ``metrics`` (higher-is-better, regression-checked);
+everything else is kept in ``extras`` for the record.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.bench.paths import results_dir
+from repro.core.provenance import environment_provenance
+from repro.experiments.store import ResultRow, ResultStore
+
+__all__ = [
+    "migrate_ablation_tables",
+    "migrate_fig10_grid",
+    "migrate_kernels_json",
+    "migrate_legacy_results",
+]
+
+KERNELS_RUN = "kernels-baseline"
+FIG10_RUN = "fig10-baseline"
+ABLATIONS_RUN = "ablations-baseline"
+
+
+def _provenance(source: str) -> dict:
+    return {
+        **environment_provenance(),
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "source": source,
+    }
+
+
+def _migrated_key(run: str, identity: tuple) -> str:
+    digest = hashlib.sha256(
+        json.dumps([run, list(map(str, identity))]).encode()
+    ).hexdigest()[:32]
+    return f"migrated:{digest}"
+
+
+def _row(run: str, source: str, **fields) -> ResultRow:
+    row = ResultRow(
+        run=run, cell_key="", provenance=_provenance(source), **fields
+    )
+    return dataclasses.replace(
+        row, cell_key=_migrated_key(run, row.identity())
+    )
+
+
+def migrate_kernels_json(path: Path) -> list[ResultRow]:
+    """``BENCH_kernels.json`` → rows under ``kernels-baseline``.
+
+    Each ``end_to_end`` entry becomes two functional-backend rows (the
+    adaptive policy with its speedup metric, and the legacy forced-merge
+    policy it was measured against); each ``micro`` entry becomes one
+    row keyed (op, shape, kernel)."""
+    data = json.loads(path.read_text(encoding="utf-8"))
+    rows: list[ResultRow] = []
+    for key, entry in sorted(data.get("end_to_end", {}).items()):
+        pattern = key.split("/", 1)[1] if "/" in key else key
+        graph = entry.get("graph", "unknown")
+        count = int(entry.get("count", 0))
+        common = dict(
+            pattern=pattern, graph=graph, backend="functional",
+            workload=pattern, count=count, counts=(count,),
+            extras={"smoke": bool(entry.get("smoke", False))},
+        )
+        rows.append(_row(
+            KERNELS_RUN, path.name, policy="adaptive",
+            wall_time_s=float(entry["adaptive_seconds"]),
+            metrics={"speedup_vs_legacy": float(entry["speedup"])},
+            **common,
+        ))
+        rows.append(_row(
+            KERNELS_RUN, path.name, policy="legacy",
+            wall_time_s=float(entry["legacy_seconds"]),
+            **common,
+        ))
+    for key, entry in sorted(data.get("micro", {}).items()):
+        op, kernel, shape = (key.split("/") + ["?", "?"])[:3]
+        rows.append(_row(
+            KERNELS_RUN, path.name,
+            pattern=op, graph=shape, backend="functional", policy=kernel,
+            wall_time_s=float(entry["mean_seconds"]),
+            extras={
+                "size_a": entry.get("size_a"), "size_b": entry.get("size_b"),
+            },
+        ))
+    return rows
+
+
+def _parse_fixed_width(text: str):
+    """Parse one format_table/format_grid block: (title, headers, rows)
+    where rows are (label, {column: cell-string}) in file order.
+
+    Column extents come from the dashes ruler, which is the only line
+    guaranteed to contain no spaces inside a column."""
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    title = lines[0]
+    header_line, ruler = lines[1], lines[2]
+    spans = []
+    start = None
+    for i, ch in enumerate(ruler + " "):
+        if ch == "-" and start is None:
+            start = i
+        elif ch != "-" and start is not None:
+            spans.append((start, i))
+            start = None
+    headers = [header_line[a:b].strip() or header_line[a:].strip()
+               for a, b in spans]
+    body = []
+    for line in lines[3:]:
+        if "=" in line and not line[spans[0][0]:spans[0][1]].strip():
+            continue  # trailing "overall geomean = ..." style summary
+        if line.startswith("overall "):
+            continue
+        cells = [line[a:b].strip() if a < len(line) else ""
+                 for a, b in spans]
+        body.append((cells[0], dict(zip(headers[1:], cells[1:]))))
+    return title, headers, body
+
+
+def _number(cell: str) -> float | None:
+    try:
+        return float(cell.replace(",", ""))
+    except ValueError:
+        return None
+
+
+def migrate_fig10_grid(path: Path) -> list[ResultRow]:
+    """``fig10_overall.txt`` → one row per (pattern, graph) cell with the
+    FINGERS-over-FlexMiner speedup as a regression-checked metric."""
+    _, headers, body = _parse_fixed_width(path.read_text(encoding="utf-8"))
+    rows = []
+    for pattern, cells in body:
+        for graph in headers[1:]:
+            value = _number(cells.get(graph, ""))
+            if value is None or graph == "geomean":
+                continue
+            rows.append(_row(
+                FIG10_RUN, path.name,
+                pattern=pattern, graph=graph, backend="fingers",
+                workload=pattern,
+                metrics={"speedup_vs_flexminer": value},
+            ))
+    return rows
+
+
+def migrate_ablation_tables(paths: list[Path]) -> list[ResultRow]:
+    """``ablation_*.txt`` → rows under ``ablations-baseline``: the table
+    stem is the pattern, the first column the graph-axis label; cycles
+    columns map to ``cycles``, speedup/scaling columns to ``metrics``,
+    the rest to ``extras``."""
+    rows = []
+    for path in sorted(paths):
+        _, headers, body = _parse_fixed_width(
+            path.read_text(encoding="utf-8")
+        )
+        for label, cells in body:
+            cycles = 0.0
+            metrics: dict[str, float] = {}
+            extras: dict[str, float] = {}
+            for column, cell in cells.items():
+                value = _number(cell)
+                if value is None:
+                    continue
+                slug = column.lower().replace(" ", "_")
+                if slug == "cycles":
+                    cycles = value
+                elif "speedup" in slug or "scaling" in slug:
+                    metrics[slug] = value
+                else:
+                    extras[slug] = value
+            rows.append(_row(
+                ABLATIONS_RUN, path.name,
+                pattern=path.stem, graph=label, backend="fingers",
+                cycles=cycles, metrics=metrics, extras=extras,
+            ))
+    return rows
+
+
+def migrate_legacy_results(
+    source: Path | str | None = None,
+    store: ResultStore | None = None,
+    *,
+    force: bool = False,
+) -> dict[str, int]:
+    """Migrate every recognised legacy file under ``source`` (default:
+    the canonical results dir) into ``store``.
+
+    Runs already present are left untouched unless ``force=True``
+    (which replaces them).  Returns ``{run: rows-written}``."""
+    source = Path(source) if source is not None else results_dir()
+    store = store if store is not None else ResultStore()
+    existing = set(store.runs())
+    written: dict[str, int] = {}
+
+    batches: list[tuple[str, list[ResultRow]]] = []
+    kernels = source / "BENCH_kernels.json"
+    if kernels.exists():
+        batches.append((KERNELS_RUN, migrate_kernels_json(kernels)))
+    fig10 = source / "fig10_overall.txt"
+    if fig10.exists():
+        batches.append((FIG10_RUN, migrate_fig10_grid(fig10)))
+    ablations = sorted(source.glob("ablation_*.txt"))
+    if ablations:
+        batches.append((ABLATIONS_RUN, migrate_ablation_tables(ablations)))
+
+    for run, rows in batches:
+        if run in existing:
+            if not force:
+                written[run] = 0
+                continue
+            store.delete(run)
+        store.append(rows)
+        written[run] = len(rows)
+    return written

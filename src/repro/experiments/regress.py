@@ -1,0 +1,187 @@
+"""Regression detection: diff a run against a named baseline.
+
+Rows are joined on :meth:`ResultRow.identity` — (pattern, graph,
+backend, policy, jobs, schedule) — and compared field by field under
+the thresholds documented in docs/BENCHMARKS.md:
+
+* **counts** are exact: any mismatch is a regression (a wrong count is
+  a correctness bug, never noise);
+* **cycles** are deterministic model outputs, compared under the tight
+  ``cycle_threshold`` (default 1.25×) — slower is a regression, faster
+  past the same threshold is reported as an improvement;
+* **wall time** is host-noise-prone, compared under the looser
+  ``wall_threshold`` (default 1.5×);
+* **metrics** are higher-is-better figures (speedups): falling below
+  ``baseline / cycle_threshold`` regresses.
+
+Cells present on one side only are informational — sweeps legitimately
+grow and shrink.  ``DiffReport.exit_code`` is nonzero iff at least one
+regression survived, which is what CI and ``repro exp diff`` propagate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.experiments.store import ResultRow
+
+__all__ = ["DiffReport", "Finding", "diff_runs"]
+
+REGRESSION = "regression"
+IMPROVEMENT = "improvement"
+INFO = "info"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One observation from a baseline/current comparison."""
+
+    severity: str
+    cell: str
+    message: str
+
+    def render(self) -> str:
+        return f"[{self.severity.upper():11s}] {self.cell}: {self.message}"
+
+
+@dataclass(frozen=True)
+class DiffReport:
+    """Outcome of :func:`diff_runs`."""
+
+    baseline: str
+    current: str
+    compared: int
+    findings: tuple[Finding, ...]
+
+    @property
+    def regressions(self) -> tuple[Finding, ...]:
+        return tuple(
+            f for f in self.findings if f.severity == REGRESSION
+        )
+
+    @property
+    def exit_code(self) -> int:
+        """0 when no regression was found, 1 otherwise (the CLI's and
+        CI's pass/fail signal)."""
+        return 1 if self.regressions else 0
+
+    def render(self) -> str:
+        lines = [
+            f"diff: {self.current} vs baseline {self.baseline} "
+            f"({self.compared} cells compared)"
+        ]
+        lines += [f.render() for f in self.findings]
+        verdict = (
+            f"FAIL: {len(self.regressions)} regression(s)"
+            if self.regressions else "OK: no regressions"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def _cell_label(identity: tuple) -> str:
+    pattern, graph, backend, policy, jobs, schedule = identity
+    parts = [pattern, graph, backend]
+    if policy != "default":
+        parts.append(policy)
+    if schedule != "dynamic":
+        parts.append(schedule)
+    if jobs is not None:
+        parts.append(f"jobs={jobs}")
+    return "/".join(parts)
+
+
+def _latest_by_identity(rows: Iterable[ResultRow]) -> dict[tuple, ResultRow]:
+    # Append-only stores can hold re-runs of one cell; the newest row
+    # (file order) is the run's current word on that cell.
+    latest: dict[tuple, ResultRow] = {}
+    for row in rows:
+        latest[row.identity()] = row
+    return latest
+
+
+def diff_runs(
+    baseline_rows: Iterable[ResultRow],
+    current_rows: Iterable[ResultRow],
+    *,
+    baseline: str = "baseline",
+    current: str = "current",
+    cycle_threshold: float = 1.25,
+    wall_threshold: float = 1.5,
+) -> DiffReport:
+    """Compare two runs' rows; see the module docstring for the policy."""
+    if cycle_threshold <= 1.0 or wall_threshold <= 1.0:
+        raise ValueError("thresholds are ratios and must be > 1.0")
+    base = _latest_by_identity(baseline_rows)
+    curr = _latest_by_identity(current_rows)
+    findings: list[Finding] = []
+    compared = 0
+
+    for identity in sorted(set(base) - set(curr), key=str):
+        findings.append(Finding(
+            INFO, _cell_label(identity), "present only in baseline"
+        ))
+    for identity in sorted(set(curr) - set(base), key=str):
+        findings.append(Finding(
+            INFO, _cell_label(identity), "new cell (no baseline)"
+        ))
+
+    for identity in sorted(set(base) & set(curr), key=str):
+        b, c = base[identity], curr[identity]
+        cell = _cell_label(identity)
+        compared += 1
+        if b.counts and c.counts and b.counts != c.counts:
+            findings.append(Finding(
+                REGRESSION, cell,
+                f"count mismatch: baseline {b.counts} != current {c.counts}",
+            ))
+        if b.cycles > 0 and c.cycles > 0:
+            ratio = c.cycles / b.cycles
+            if ratio > cycle_threshold:
+                findings.append(Finding(
+                    REGRESSION, cell,
+                    f"cycles {b.cycles:,.0f} -> {c.cycles:,.0f} "
+                    f"({ratio:.2f}x > {cycle_threshold:.2f}x threshold)",
+                ))
+            elif ratio < 1.0 / cycle_threshold:
+                findings.append(Finding(
+                    IMPROVEMENT, cell,
+                    f"cycles {b.cycles:,.0f} -> {c.cycles:,.0f} "
+                    f"({1 / ratio:.2f}x faster)",
+                ))
+        if b.wall_time_s > 0 and c.wall_time_s > 0:
+            ratio = c.wall_time_s / b.wall_time_s
+            if ratio > wall_threshold:
+                findings.append(Finding(
+                    REGRESSION, cell,
+                    f"wall time {b.wall_time_s:.4g}s -> {c.wall_time_s:.4g}s "
+                    f"({ratio:.2f}x > {wall_threshold:.2f}x threshold)",
+                ))
+            elif ratio < 1.0 / wall_threshold:
+                findings.append(Finding(
+                    IMPROVEMENT, cell,
+                    f"wall time {b.wall_time_s:.4g}s -> {c.wall_time_s:.4g}s "
+                    f"({1 / ratio:.2f}x faster)",
+                ))
+        for key in sorted(set(b.metrics) & set(c.metrics)):
+            bv, cv = b.metrics[key], c.metrics[key]
+            if bv <= 0 or cv <= 0:
+                continue
+            if cv < bv / cycle_threshold:
+                findings.append(Finding(
+                    REGRESSION, cell,
+                    f"metric {key}: {bv:.4g} -> {cv:.4g} "
+                    f"(below baseline/{cycle_threshold:.2f})",
+                ))
+            elif cv > bv * cycle_threshold:
+                findings.append(Finding(
+                    IMPROVEMENT, cell,
+                    f"metric {key}: {bv:.4g} -> {cv:.4g}",
+                ))
+    return DiffReport(
+        baseline=baseline,
+        current=current,
+        compared=compared,
+        findings=tuple(findings),
+    )

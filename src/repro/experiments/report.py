@@ -1,0 +1,238 @@
+"""Report generation: markdown + HTML views of a stored run.
+
+Rendering is a pure function of the stored rows — no clocks, no
+environment reads — so reports regenerate byte-identically from the
+same store (the golden-file tests rely on this).  Each report carries:
+
+* the full result table per (pattern, graph, backend, policy) cell,
+* wall-clock speedups against the ``functional``/``default`` cell of
+  the same (pattern, graph) — the paper's reference engine,
+* modelled-cycle speedups of ``fingers`` over ``flexminer`` where both
+  were swept, and
+* a provenance table: git hash, config signature, host, interpreter and
+  numpy versions, and timestamp for **every** row (docs/BENCHMARKS.md).
+
+``write_report`` is one of the two modules allowed to write under
+``benchmarks/results/`` (the STORE001 lint rule funnels everything else
+through the store).
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.bench.paths import reports_dir
+from repro.experiments.store import ResultRow, ResultStore
+
+__all__ = ["render_html", "render_markdown", "write_report"]
+
+
+def _sorted(rows: Iterable[ResultRow]) -> list[ResultRow]:
+    return sorted(
+        rows, key=lambda r: (r.identity(), r.provenance.get("timestamp", ""))
+    )
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.6g}"
+
+
+def _cell_name(row: ResultRow) -> str:
+    parts = [row.pattern, row.graph, row.backend]
+    if row.policy != "default":
+        parts.append(row.policy)
+    if row.schedule != "dynamic":
+        parts.append(row.schedule)
+    if row.jobs is not None:
+        parts.append(f"jobs={row.jobs}")
+    return "/".join(parts)
+
+
+def _result_table(rows: Sequence[ResultRow]) -> tuple[list[str], list[list[str]]]:
+    header = [
+        "pattern", "graph", "backend", "policy", "jobs", "schedule",
+        "count", "cycles", "wall s",
+    ]
+    body = [
+        [
+            row.pattern, row.graph, row.backend, row.policy,
+            "-" if row.jobs is None else str(row.jobs), row.schedule,
+            f"{row.count:,}", f"{row.cycles:,.0f}", _fmt(row.wall_time_s),
+        ]
+        for row in rows
+    ]
+    return header, body
+
+
+def _speedup_rows(rows: Sequence[ResultRow]) -> list[list[str]]:
+    reference = {
+        (r.pattern, r.graph): r
+        for r in rows
+        if r.backend == "functional" and r.policy == "default"
+        and r.jobs is None and r.schedule == "dynamic"
+    }
+    body = []
+    for row in rows:
+        ref = reference.get((row.pattern, row.graph))
+        if ref is None or row is ref:
+            continue
+        if ref.wall_time_s <= 0 or row.wall_time_s <= 0:
+            continue
+        body.append([
+            _cell_name(row), _fmt(ref.wall_time_s), _fmt(row.wall_time_s),
+            f"{ref.wall_time_s / row.wall_time_s:.2f}",
+        ])
+    return body
+
+
+def _cycle_speedup_rows(rows: Sequence[ResultRow]) -> list[list[str]]:
+    def pick(backend):
+        return {
+            (r.pattern, r.graph): r
+            for r in rows
+            if r.backend == backend and r.policy == "default"
+            and r.cycles > 0
+        }
+
+    ours, baseline = pick("fingers"), pick("flexminer")
+    body = []
+    for key in sorted(set(ours) & set(baseline)):
+        f, x = ours[key], baseline[key]
+        body.append([
+            f"{key[0]}/{key[1]}", f"{f.cycles:,.0f}", f"{x.cycles:,.0f}",
+            f"{x.cycles / f.cycles:.2f}",
+        ])
+    return body
+
+
+def _provenance_rows(rows: Sequence[ResultRow]) -> list[list[str]]:
+    body = []
+    for row in rows:
+        p = row.provenance
+        body.append([
+            _cell_name(row),
+            p.get("git_hash", "unknown"),
+            row.config_signature,
+            p.get("hostname", "?"),
+            f"py {p.get('python', '?')} / np {p.get('numpy', '?')}",
+            p.get("timestamp", "?"),
+        ])
+    return body
+
+
+_SPEEDUP_HEADER = ["cell", "functional wall s", "wall s", "speedup"]
+_CYCLES_HEADER = ["pattern/graph", "fingers cycles", "flexminer cycles",
+                  "speedup"]
+_PROVENANCE_HEADER = ["cell", "git hash", "config signature", "host",
+                      "versions", "timestamp"]
+
+
+def _md_table(header: list[str], body: list[list[str]]) -> str:
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "| " + " | ".join("---" for _ in header) + " |",
+    ]
+    lines += ["| " + " | ".join(row) + " |" for row in body]
+    return "\n".join(lines)
+
+
+def render_markdown(rows: Iterable[ResultRow], *, run: str) -> str:
+    """The markdown report for one run's rows (pure; byte-stable)."""
+    rows = _sorted(rows)
+    parts = [f"# Sweep report: {run}", "", f"{len(rows)} result rows.", ""]
+    header, body = _result_table(rows)
+    parts += ["## Results", "", _md_table(header, body), ""]
+    speedups = _speedup_rows(rows)
+    if speedups:
+        parts += [
+            "## Wall-clock speedup vs functional/default", "",
+            _md_table(_SPEEDUP_HEADER, speedups), "",
+        ]
+    cycles = _cycle_speedup_rows(rows)
+    if cycles:
+        parts += [
+            "## Modelled cycles: fingers vs flexminer", "",
+            _md_table(_CYCLES_HEADER, cycles), "",
+        ]
+    parts += [
+        "## Provenance", "",
+        _md_table(_PROVENANCE_HEADER, _provenance_rows(rows)), "",
+    ]
+    return "\n".join(parts)
+
+
+def _html_table(header: list[str], body: list[list[str]]) -> str:
+    head = "".join(f"<th>{html.escape(h)}</th>" for h in header)
+    rows_html = "".join(
+        "<tr>" + "".join(f"<td>{html.escape(c)}</td>" for c in row) + "</tr>"
+        for row in body
+    )
+    return (
+        f"<table><thead><tr>{head}</tr></thead>"
+        f"<tbody>{rows_html}</tbody></table>"
+    )
+
+
+def render_html(rows: Iterable[ResultRow], *, run: str) -> str:
+    """The HTML report for one run's rows (pure; byte-stable)."""
+    rows = _sorted(rows)
+    sections = [
+        f"<h1>Sweep report: {html.escape(run)}</h1>",
+        f"<p>{len(rows)} result rows.</p>",
+        "<h2>Results</h2>",
+        _html_table(*_result_table(rows)),
+    ]
+    speedups = _speedup_rows(rows)
+    if speedups:
+        sections += [
+            "<h2>Wall-clock speedup vs functional/default</h2>",
+            _html_table(_SPEEDUP_HEADER, speedups),
+        ]
+    cycles = _cycle_speedup_rows(rows)
+    if cycles:
+        sections += [
+            "<h2>Modelled cycles: fingers vs flexminer</h2>",
+            _html_table(_CYCLES_HEADER, cycles),
+        ]
+    sections += [
+        "<h2>Provenance</h2>",
+        _html_table(_PROVENANCE_HEADER, _provenance_rows(rows)),
+    ]
+    style = (
+        "body{font-family:sans-serif;margin:2em}"
+        "table{border-collapse:collapse;margin:1em 0}"
+        "th,td{border:1px solid #999;padding:4px 8px;text-align:left}"
+        "th{background:#eee}"
+    )
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>Sweep report: {html.escape(run)}</title>"
+        f"<style>{style}</style></head><body>"
+        + "".join(sections) + "</body></html>"
+    )
+
+
+def write_report(
+    store: ResultStore,
+    run: str,
+    *,
+    out_dir: Path | str | None = None,
+    formats: Sequence[str] = ("md", "html"),
+) -> list[Path]:
+    """Render one run to ``<out_dir>/<run>.{md,html}`` (default:
+    ``benchmarks/results/reports/``) and return the written paths."""
+    rows = store.load(run)
+    out = Path(out_dir) if out_dir is not None else reports_dir(create=True)
+    out.mkdir(parents=True, exist_ok=True)
+    renderers = {"md": render_markdown, "html": render_html}
+    unknown = set(formats) - set(renderers)
+    if unknown:
+        raise ValueError(f"unknown report formats: {sorted(unknown)}")
+    written = []
+    for fmt in formats:
+        path = out / f"{run}.{fmt}"
+        path.write_text(renderers[fmt](rows, run=run), encoding="utf-8")
+        written.append(path)
+    return written

@@ -1,0 +1,172 @@
+"""The schema'd result store: versioned JSONL, one file per run.
+
+Every measurement the experiment executor (or the legacy-results
+migration) produces becomes one :class:`ResultRow` appended to
+``<store>/<run>.jsonl``.  Rows are self-describing: each line carries
+``schema`` (:data:`STORE_SCHEMA_VERSION`) plus full provenance — git
+hash, config signature, hostname, python/numpy versions, timestamp — so
+any number in a generated report traces back to the commit and machine
+that produced it (docs/BENCHMARKS.md, "Row schema").
+
+Append-only JSONL keeps the store diff-friendly in git and makes the
+executor interrupt-safe: a killed sweep has complete rows for every
+finished cell and nothing else.  Readers skip lines from a *newer*
+schema (forward-compatibly) and malformed lines rather than failing the
+whole run file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.bench.paths import store_dir
+from repro.experiments.spec import NAME_RE
+
+__all__ = ["ResultRow", "ResultStore", "STORE_SCHEMA_VERSION"]
+
+#: Bump when a row field changes meaning; readers ignore newer rows.
+STORE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ResultRow:
+    """One (cell, measurement) record.
+
+    ``cell_key`` is the backend's full cache key
+    (:meth:`repro.core.backend.Backend.cache_key`) — graph contents,
+    config signature, schedule, roots, execution model — which is what
+    makes resume exact: a row exists iff that cache identity was run.
+    ``metrics`` holds higher-is-better figures (speedups); ``extras``
+    holds informational values excluded from regression checks.
+    """
+
+    run: str
+    cell_key: str
+    pattern: str
+    graph: str
+    backend: str
+    policy: str = "default"
+    jobs: int | None = None
+    schedule: str = "dynamic"
+    workload: str = ""
+    config_signature: str = ""
+    count: int = 0
+    counts: tuple[int, ...] = ()
+    cycles: float = 0.0
+    wall_time_s: float = 0.0
+    metrics: dict = field(default_factory=dict)
+    extras: dict = field(default_factory=dict)
+    dispatch: dict = field(default_factory=dict)
+    cache: dict = field(default_factory=dict)
+    provenance: dict = field(default_factory=dict)
+
+    def identity(self) -> tuple:
+        """The join key for cross-run diffs: *what* was measured,
+        independent of *when* or *on which commit*."""
+        return (
+            self.pattern, self.graph, self.backend,
+            self.policy, self.jobs, self.schedule,
+        )
+
+    def to_json(self) -> str:
+        record = dataclasses.asdict(self)
+        record["counts"] = list(self.counts)
+        record["schema"] = STORE_SCHEMA_VERSION
+        return json.dumps(record, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "ResultRow | None":
+        """Parse one store line; ``None`` for malformed or newer-schema
+        rows (the store is append-only and read forward-compatibly)."""
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(record, dict):
+            return None
+        if record.pop("schema", None) not in range(
+            1, STORE_SCHEMA_VERSION + 1
+        ):
+            return None
+        names = {f.name for f in dataclasses.fields(cls)}
+        if not {"run", "cell_key"} <= record.keys():
+            return None
+        kwargs = {k: v for k, v in record.items() if k in names}
+        kwargs["counts"] = tuple(kwargs.get("counts", ()))
+        try:
+            return cls(**kwargs)
+        except TypeError:
+            return None
+
+
+class ResultStore:
+    """Filesystem-backed run store rooted at ``benchmarks/results/store``
+    (override via the constructor or ``$REPRO_RESULTS_DIR``)."""
+
+    def __init__(self, root: Path | str | None = None):
+        self.root = Path(root) if root is not None else store_dir()
+
+    def _path(self, run: str) -> Path:
+        if not NAME_RE.match(run):
+            raise ValueError(
+                f"run name {run!r} must match {NAME_RE.pattern}"
+            )
+        return self.root / f"{run}.jsonl"
+
+    def runs(self) -> list[str]:
+        """Sorted names of every run present in the store."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.jsonl"))
+
+    def append(self, rows: "list[ResultRow] | ResultRow") -> None:
+        """Append rows to their runs' files (creating the store lazily)."""
+        if isinstance(rows, ResultRow):
+            rows = [rows]
+        self.root.mkdir(parents=True, exist_ok=True)
+        by_run: dict[str, list[ResultRow]] = {}
+        for row in rows:
+            by_run.setdefault(row.run, []).append(row)
+        for run, run_rows in by_run.items():
+            with self._path(run).open("a", encoding="utf-8") as handle:
+                for row in run_rows:
+                    handle.write(row.to_json() + "\n")
+
+    def load(self, run: str) -> list[ResultRow]:
+        """All readable rows of one run (malformed/newer lines skipped)."""
+        path = self._path(run)
+        if not path.exists():
+            raise FileNotFoundError(
+                f"run {run!r} not found in store {self.root} "
+                f"(known runs: {', '.join(self.runs()) or 'none'})"
+            )
+        rows = []
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if not line.strip():
+                continue
+            row = ResultRow.from_json(line)
+            if row is not None:
+                rows.append(row)
+        return rows
+
+    def keys(self, run: str) -> set[str]:
+        """The cache identities already measured in one run (empty set
+        for an absent run — resuming into a fresh run is not an error)."""
+        try:
+            return {row.cell_key for row in self.load(run)}
+        except FileNotFoundError:
+            return set()
+
+    def has(self, run: str, cell_key: str) -> bool:
+        return cell_key in self.keys(run)
+
+    def delete(self, run: str) -> bool:
+        """Remove one run file; returns whether it existed."""
+        path = self._path(run)
+        if path.exists():
+            path.unlink()
+            return True
+        return False

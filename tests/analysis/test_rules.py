@@ -352,6 +352,60 @@ def test_perf001_vectorized_mask_is_clean():
 
 
 # ----------------------------------------------------------------------
+# STORE001 — result writes around the experiment store
+# ----------------------------------------------------------------------
+
+
+def test_store001_write_text_in_bench():
+    src = (
+        "def publish(results_dir, name, text):\n"
+        "    (results_dir / f\"{name}.txt\").write_text(text)\n"
+    )
+    assert rules_fired(src, module="repro.bench.snippet") == ["STORE001"]
+
+
+def test_store001_open_for_write_in_experiments():
+    src = (
+        "def dump(path, payload):\n"
+        "    with open(path, \"w\") as handle:\n"
+        "        handle.write(payload)\n"
+    )
+    assert rules_fired(src, module="repro.experiments.snippet") == [
+        "STORE001"
+    ]
+
+
+def test_store001_path_open_append():
+    src = (
+        "def log(path, line):\n"
+        "    with path.open(\"a\", encoding=\"utf-8\") as handle:\n"
+        "        handle.write(line)\n"
+    )
+    assert rules_fired(src, module="repro.bench.snippet") == ["STORE001"]
+
+
+def test_store001_reads_are_clean():
+    src = (
+        "def slurp(path):\n"
+        "    with path.open() as handle:\n"
+        "        text = handle.read()\n"
+        "    return text + open(path).read() + path.read_text()\n"
+    )
+    assert rules_fired(src, module="repro.bench.snippet") == []
+
+
+def test_store001_store_and_report_modules_allowed():
+    src = "def save(path, text):\n    path.write_text(text)\n"
+    for module in ("repro.experiments.store", "repro.experiments.report"):
+        assert rules_fired(src, module=module) == []
+
+
+def test_store001_out_of_scope_module_not_flagged():
+    src = "def save(path, text):\n    path.write_text(text)\n"
+    assert rules_fired(src, module="repro.cache") == []
+
+
+# ----------------------------------------------------------------------
 # HYG001 / HYG002 — hygiene
 # ----------------------------------------------------------------------
 
@@ -427,7 +481,7 @@ def test_rule_catalog_ids_unique_and_documented():
     ids = [r.id for r in rules]
     assert len(ids) == len(set(ids))
     assert {"DET001", "DET002", "DET003", "PAR001", "CACHE001",
-            "ARCH001", "PERF001", "HYG001", "HYG002"} <= set(ids)
+            "ARCH001", "PERF001", "STORE001", "HYG001", "HYG002"} <= set(ids)
     assert all(r.summary for r in rules)
 
 

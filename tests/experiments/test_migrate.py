@@ -1,0 +1,136 @@
+"""Migration of the legacy ad-hoc result files into the store."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.experiments import ResultStore, migrate_legacy_results
+from repro.experiments.migrate import (
+    ABLATIONS_RUN,
+    FIG10_RUN,
+    KERNELS_RUN,
+    migrate_ablation_tables,
+    migrate_fig10_grid,
+    migrate_kernels_json,
+)
+
+_KERNELS = {
+    "end_to_end": {
+        "count_embeddings/4cl": {
+            "adaptive_seconds": 0.5,
+            "legacy_seconds": 2.5,
+            "speedup": 5.0,
+            "count": 1061172,
+            "graph": "erdos_renyi(n=120, p=0.7, seed=11)",
+            "smoke": False,
+        },
+    },
+    "micro": {
+        "intersect/bitmap/balanced": {
+            "mean_seconds": 1e-5, "size_a": 512, "size_b": 512,
+        },
+    },
+}
+
+_FIG10 = textwrap.dedent("""\
+    Figure 10: overall speedup, 20-PE FINGERS vs 40-PE FlexMiner
+    pattern  As    Mi    geomean
+    -------  ----  ----  -------
+    tc       4.50  3.08  3.72
+    cyc      6.36  5.01  5.64
+    overall geomean = 4.58, max = 6.36
+""")
+
+_ABLATION = textwrap.dedent("""\
+    Ablation: task-divider count (tt on Or)
+    dividers  cycles     speedup vs 1
+    --------  ---------  ------------
+    1         3,332,730  1.00
+    3         3,247,374  1.03
+""")
+
+
+@pytest.fixture
+def legacy_dir(tmp_path):
+    source = tmp_path / "results"
+    source.mkdir()
+    (source / "BENCH_kernels.json").write_text(
+        json.dumps(_KERNELS), encoding="utf-8"
+    )
+    (source / "fig10_overall.txt").write_text(_FIG10, encoding="utf-8")
+    (source / "ablation_dividers.txt").write_text(_ABLATION, encoding="utf-8")
+    return source
+
+
+class TestParsers:
+    def test_kernels_json(self, legacy_dir):
+        rows = migrate_kernels_json(legacy_dir / "BENCH_kernels.json")
+        assert len(rows) == 3  # adaptive + legacy + one micro
+        adaptive = next(r for r in rows if r.policy == "adaptive")
+        assert adaptive.pattern == "4cl"
+        assert adaptive.count == 1061172
+        assert adaptive.metrics == {"speedup_vs_legacy": 5.0}
+        assert adaptive.wall_time_s == 0.5
+        legacy = next(r for r in rows if r.policy == "legacy")
+        assert legacy.wall_time_s == 2.5 and not legacy.metrics
+        micro = next(r for r in rows if r.pattern == "intersect")
+        assert micro.policy == "bitmap" and micro.graph == "balanced"
+        assert micro.extras == {"size_a": 512, "size_b": 512}
+
+    def test_fig10_grid_drops_geomean_and_summary(self, legacy_dir):
+        rows = migrate_fig10_grid(legacy_dir / "fig10_overall.txt")
+        cells = {(r.pattern, r.graph): r for r in rows}
+        assert set(cells) == {
+            ("tc", "As"), ("tc", "Mi"), ("cyc", "As"), ("cyc", "Mi"),
+        }
+        assert cells[("tc", "As")].metrics == {"speedup_vs_flexminer": 4.5}
+        assert cells[("cyc", "Mi")].backend == "fingers"
+
+    def test_ablation_table_columns_routed_by_kind(self, legacy_dir):
+        rows = migrate_ablation_tables(
+            [legacy_dir / "ablation_dividers.txt"]
+        )
+        assert [r.graph for r in rows] == ["1", "3"]
+        assert rows[0].pattern == "ablation_dividers"
+        assert rows[0].cycles == 3332730  # comma-formatted cycles parsed
+        assert rows[1].metrics == {"speedup_vs_1": 1.03}
+
+    def test_migrated_keys_are_stable(self, legacy_dir):
+        first = migrate_fig10_grid(legacy_dir / "fig10_overall.txt")
+        second = migrate_fig10_grid(legacy_dir / "fig10_overall.txt")
+        assert [r.cell_key for r in first] == [r.cell_key for r in second]
+        assert all(r.cell_key.startswith("migrated:") for r in first)
+
+    def test_provenance_names_the_source_file(self, legacy_dir):
+        rows = migrate_fig10_grid(legacy_dir / "fig10_overall.txt")
+        assert rows[0].provenance["source"] == "fig10_overall.txt"
+        assert rows[0].provenance["git_hash"]
+
+
+class TestMigrateAll:
+    def test_migrates_every_recognised_file(self, legacy_dir, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        written = migrate_legacy_results(legacy_dir, store)
+        assert written == {KERNELS_RUN: 3, FIG10_RUN: 4, ABLATIONS_RUN: 2}
+        assert sorted(store.runs()) == sorted(written)
+
+    def test_existing_runs_skipped_unless_forced(self, legacy_dir, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        migrate_legacy_results(legacy_dir, store)
+        again = migrate_legacy_results(legacy_dir, store)
+        assert set(again.values()) == {0}
+        forced = migrate_legacy_results(legacy_dir, store, force=True)
+        assert forced == {KERNELS_RUN: 3, FIG10_RUN: 4, ABLATIONS_RUN: 2}
+        assert len(store.load(FIG10_RUN)) == 4  # replaced, not appended
+
+    def test_empty_source_is_a_noop(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        assert migrate_legacy_results(tmp_path, store) == {}
+
+    def test_committed_legacy_files_migrate(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        written = migrate_legacy_results("benchmarks/results", store)
+        assert written[KERNELS_RUN] == 17
+        assert written[FIG10_RUN] == 42
+        assert written[ABLATIONS_RUN] == 27

@@ -1,0 +1,107 @@
+"""Regression detection: thresholds, exit codes, one-sided cells."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import ResultRow, diff_runs
+
+
+def _row(**overrides):
+    fields = dict(
+        run="base",
+        cell_key="k",
+        pattern="tc",
+        graph="As",
+        backend="fingers",
+        count=8017,
+        counts=(8017,),
+        cycles=162171.0,
+        wall_time_s=0.25,
+    )
+    fields.update(overrides)
+    return ResultRow(**fields)
+
+
+class TestVerdicts:
+    def test_identical_runs_are_clean(self):
+        rows = [_row()]
+        report = diff_runs(rows, rows)
+        assert report.exit_code == 0
+        assert report.compared == 1
+        assert report.regressions == ()
+        assert "OK: no regressions" in report.render()
+
+    def test_injected_cycle_slowdown_exits_nonzero(self):
+        base = [_row()]
+        slow = [dataclasses.replace(base[0], cycles=base[0].cycles * 2)]
+        report = diff_runs(base, slow)
+        assert report.exit_code == 1
+        assert "2.00x" in report.regressions[0].message
+        assert "FAIL" in report.render()
+
+    def test_cycle_speedup_is_an_improvement_not_failure(self):
+        base = [_row()]
+        fast = [dataclasses.replace(base[0], cycles=base[0].cycles / 2)]
+        report = diff_runs(base, fast)
+        assert report.exit_code == 0
+        assert any(f.severity == "improvement" for f in report.findings)
+
+    def test_count_mismatch_is_always_a_regression(self):
+        base = [_row()]
+        wrong = [dataclasses.replace(base[0], count=1, counts=(1,))]
+        report = diff_runs(base, wrong)
+        assert report.exit_code == 1
+        assert "count mismatch" in report.regressions[0].message
+
+    def test_wall_time_uses_the_looser_threshold(self):
+        base = [_row()]
+        slower = [dataclasses.replace(base[0], wall_time_s=0.25 * 1.4)]
+        assert diff_runs(base, slower).exit_code == 0  # 1.4x < 1.5x default
+        much_slower = [dataclasses.replace(base[0], wall_time_s=0.25 * 3)]
+        assert diff_runs(base, much_slower).exit_code == 1
+        assert diff_runs(base, much_slower, wall_threshold=5.0).exit_code == 0
+
+    def test_metrics_are_higher_is_better(self):
+        base = [_row(metrics={"speedup_vs_flexminer": 2.0})]
+        dropped = [dataclasses.replace(
+            base[0], metrics={"speedup_vs_flexminer": 1.0}
+        )]
+        report = diff_runs(base, dropped)
+        assert report.exit_code == 1
+        assert "speedup_vs_flexminer" in report.regressions[0].message
+        raised = [dataclasses.replace(
+            base[0], metrics={"speedup_vs_flexminer": 4.0}
+        )]
+        assert diff_runs(base, raised).exit_code == 0
+
+    def test_small_cycle_drift_within_threshold_is_clean(self):
+        base = [_row()]
+        drift = [dataclasses.replace(base[0], cycles=base[0].cycles * 1.1)]
+        assert diff_runs(base, drift).exit_code == 0
+        assert diff_runs(
+            base, drift, cycle_threshold=1.05
+        ).exit_code == 1
+
+
+class TestJoin:
+    def test_one_sided_cells_are_informational(self):
+        base = [_row()]
+        current = [_row(pattern="4cl", cell_key="k2")]
+        report = diff_runs(base, current)
+        assert report.exit_code == 0
+        assert report.compared == 0
+        severities = {f.severity for f in report.findings}
+        assert severities == {"info"}
+
+    def test_newest_row_per_identity_wins(self):
+        stale = _row(cycles=999999.0)
+        fresh = _row()
+        report = diff_runs([_row()], [stale, fresh])
+        assert report.exit_code == 0  # the later (fresh) row is compared
+
+    def test_thresholds_must_be_ratios(self):
+        with pytest.raises(ValueError, match="> 1.0"):
+            diff_runs([], [], cycle_threshold=0.9)
+        with pytest.raises(ValueError, match="> 1.0"):
+            diff_runs([], [], wall_threshold=1.0)

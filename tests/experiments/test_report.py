@@ -1,0 +1,114 @@
+"""Report generation: golden-file stability, section content, writing."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (
+    ResultRow,
+    ResultStore,
+    render_html,
+    render_markdown,
+    write_report,
+)
+
+GOLDEN = Path(__file__).parent / "data" / "golden_report.md"
+
+_PROVENANCE = {
+    "git_hash": "0123abcd",
+    "hostname": "testhost",
+    "python": "3.12.0",
+    "numpy": "2.0.0",
+    "platform": "Linux-test",
+    "timestamp": "2026-01-01T00:00:00+00:00",
+}
+
+
+def _rows():
+    common = dict(run="golden", counts=(8017,), count=8017,
+                  provenance=_PROVENANCE)
+    return [
+        ResultRow(
+            cell_key="k1", pattern="tc", graph="As", backend="functional",
+            config_signature="FunctionalConfig(kernels=None)",
+            wall_time_s=0.5, **common,
+        ),
+        ResultRow(
+            cell_key="k2", pattern="tc", graph="As", backend="fingers",
+            config_signature="FingersConfig(num_pes=1)",
+            cycles=162171.0, wall_time_s=0.25, **common,
+        ),
+        ResultRow(
+            cell_key="k3", pattern="tc", graph="As", backend="flexminer",
+            config_signature="FlexMinerConfig(num_pes=1)",
+            cycles=324342.0, wall_time_s=0.3, **common,
+        ),
+    ]
+
+
+class TestGolden:
+    def test_markdown_matches_golden_file(self):
+        rendered = render_markdown(_rows(), run="golden")
+        assert rendered == GOLDEN.read_text(encoding="utf-8")
+
+    def test_rendering_is_pure_and_order_insensitive(self):
+        rows = _rows()
+        assert render_markdown(rows, run="golden") == render_markdown(
+            list(reversed(rows)), run="golden"
+        )
+        assert render_html(rows, run="golden") == render_html(
+            rows, run="golden"
+        )
+
+
+class TestContent:
+    def test_every_row_has_a_provenance_line(self):
+        md = render_markdown(_rows(), run="golden")
+        provenance = md.split("## Provenance")[1]
+        assert provenance.count("0123abcd") == 3
+        assert provenance.count("testhost") == 3
+        assert "FingersConfig(num_pes=1)" in provenance
+
+    def test_speedup_vs_functional_section(self):
+        md = render_markdown(_rows(), run="golden")
+        speedups = md.split("## Wall-clock speedup")[1].split("##")[0]
+        assert "tc/As/fingers" in speedups
+        assert "2.00" in speedups  # 0.5s functional / 0.25s fingers
+
+    def test_cycle_speedup_section(self):
+        md = render_markdown(_rows(), run="golden")
+        cycles = md.split("## Modelled cycles")[1].split("##")[0]
+        assert "162,171" in cycles and "324,342" in cycles
+        assert "2.00" in cycles
+
+    def test_html_report_escapes_and_includes_provenance(self):
+        html_text = render_html(_rows(), run="golden")
+        assert html_text.startswith("<!DOCTYPE html>")
+        assert html_text.count("0123abcd") == 3
+        evil = ResultRow(
+            run="golden", cell_key="k4", pattern="tc", graph="As",
+            backend="functional", policy="<script>",
+            provenance=_PROVENANCE,
+        )
+        assert "<script>" not in render_html([evil], run="golden")
+
+
+class TestWriteReport:
+    def test_writes_both_formats(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append(_rows())
+        paths = write_report(store, "golden", out_dir=tmp_path / "reports")
+        assert [p.name for p in paths] == ["golden.md", "golden.html"]
+        assert paths[0].read_text(encoding="utf-8").startswith(
+            "# Sweep report: golden"
+        )
+
+    def test_unknown_format_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append(_rows())
+        with pytest.raises(ValueError, match="pdf"):
+            write_report(store, "golden", out_dir=tmp_path, formats=("pdf",))
+
+    def test_missing_run_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            write_report(ResultStore(tmp_path), "absent", out_dir=tmp_path)

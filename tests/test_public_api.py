@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.hw",
     "repro.sw",
     "repro.bench",
+    "repro.experiments",
     "repro.cli",
 ]
 
