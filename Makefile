@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: install test bench bench-fast bench-kernels bench-sweep examples clean loc lint check
+.PHONY: install test bench bench-fast bench-kernels bench-sweep examples clean loc lint lint-flow check
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -53,7 +53,12 @@ lint:
 		&& mypy --config-file pyproject.toml \
 		|| echo "mypy not installed; skipping"
 
-check: test-fast lint
+# Tier C: whole-program dataflow analyzer — call-graph races, policy
+# taint into timing, cache-key completeness (docs/ANALYSIS.md).
+lint-flow:
+	$(PYTHON) -m repro lint-flow --check-unused-baseline
+
+check: test-fast lint lint-flow
 
 loc:
 	find src tests benchmarks examples -name '*.py' | xargs wc -l | tail -1

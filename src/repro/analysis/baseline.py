@@ -28,13 +28,19 @@ from repro.analysis.findings import Finding, fingerprint_all
 
 __all__ = [
     "DEFAULT_BASELINE_NAME",
+    "DEFAULT_FLOW_BASELINE_NAME",
     "Baseline",
     "load_baseline",
     "partition",
+    "unused_entries",
     "write_baseline",
 ]
 
 DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+#: Tier C keeps its own baseline: flow findings fingerprint the same way
+#: but come from a different rule universe, and pruning one tier must
+#: not invalidate the other's review history.
+DEFAULT_FLOW_BASELINE_NAME = ".repro-flow-baseline.json"
 
 _VERSION = 1
 
@@ -118,3 +124,22 @@ def partition(
     for f, fp in fingerprint_all(findings):
         (suppressed if fp in baseline else fresh).append(f)
     return fresh, suppressed
+
+
+def unused_entries(
+    findings: Sequence[Finding], baseline: Baseline
+) -> dict[str, dict[str, str]]:
+    """Baseline entries no current finding matches (stale suppressions).
+
+    A stale entry means the underlying issue was fixed (or the code
+    deleted) but the suppression lives on — dead review weight that
+    would silently swallow a *future* finding landing on the same
+    fingerprint.  ``repro lint --check-unused-baseline`` fails on these
+    so the file shrinks in the same PR that fixes the finding.
+    """
+    live = {fp for _, fp in fingerprint_all(findings)}
+    return {
+        fp: entry
+        for fp, entry in baseline.entries.items()
+        if fp not in live
+    }

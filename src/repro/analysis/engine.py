@@ -18,7 +18,7 @@ import ast
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Protocol, Sequence
 
 from repro.analysis.findings import Finding, Severity, sort_findings
 
@@ -26,10 +26,23 @@ __all__ = [
     "ALL_RULES",
     "ModuleContext",
     "Rule",
+    "RuleLike",
     "register",
     "rule_catalog",
     "run_rules",
 ]
+
+
+class RuleLike(Protocol):
+    """The metadata any rule needs to mint findings.
+
+    Satisfied by Tier-A :class:`Rule` and Tier-C
+    :class:`repro.analysis.dataflow.FlowRule` alike, so
+    :meth:`ModuleContext.finding` serves both engines.
+    """
+
+    id: str
+    severity: Severity
 
 _NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
 
@@ -106,7 +119,7 @@ class ModuleContext:
 
     def finding(
         self,
-        rule: Rule,
+        rule: RuleLike,
         node: ast.AST,
         message: str,
     ) -> Finding | None:

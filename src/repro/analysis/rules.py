@@ -86,17 +86,9 @@ def _call_has_seed(call: ast.Call) -> bool:
 
 def _check_det001(tree: ast.Module, ctx: ModuleContext) -> Iterator[Finding]:
     imports = collect_imports(tree)
-    random_aliases = {
-        alias for alias, mod in imports.modules.items() if mod == "random"
-    }
-    numpy_aliases = {
-        alias for alias, mod in imports.modules.items() if mod == "numpy"
-    }
-    numpy_random_aliases = {
-        alias
-        for alias, mod in imports.modules.items()
-        if mod == "numpy.random"
-    }
+    random_aliases = imports.aliases_of("random")
+    numpy_aliases = imports.aliases_of("numpy")
+    numpy_random_aliases = imports.aliases_of("numpy.random")
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
             continue
@@ -177,12 +169,8 @@ _DATETIME_FNS = {"now", "utcnow", "today"}
 
 def _check_det002(tree: ast.Module, ctx: ModuleContext) -> Iterator[Finding]:
     imports = collect_imports(tree)
-    time_aliases = {
-        alias for alias, mod in imports.modules.items() if mod == "time"
-    }
-    datetime_aliases = {
-        alias for alias, mod in imports.modules.items() if mod == "datetime"
-    }
+    time_aliases = imports.aliases_of("time")
+    datetime_aliases = imports.aliases_of("datetime")
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
             continue
@@ -492,9 +480,7 @@ PERF_HOT_PACKAGES = ("repro.setops", "repro.mining", "repro.hw")
 
 def _check_perf001(tree: ast.Module, ctx: ModuleContext) -> Iterator[Finding]:
     imports = collect_imports(tree)
-    numpy_aliases = {
-        alias for alias, mod in imports.modules.items() if mod == "numpy"
-    }
+    numpy_aliases = imports.aliases_of("numpy")
 
     def churn_name(call: ast.Call) -> str | None:
         chain = attr_chain(call.func)

@@ -189,6 +189,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     exp_sub = p.add_subparsers(dest="exp_command", required=True)
 
+    def _add_lint_args(p, default_baseline: str) -> None:
+        p.add_argument(
+            "paths", nargs="*",
+            help="files or directories to lint (default: the repro package)",
+        )
+        p.add_argument(
+            "--json", action="store_true", help="machine-readable output"
+        )
+        p.add_argument(
+            "--baseline", metavar="FILE", default=None,
+            help=f"baseline suppression file "
+                 f"(default: ./{default_baseline} if present)",
+        )
+        p.add_argument(
+            "--no-baseline", action="store_true",
+            help="report every finding, ignoring the baseline file",
+        )
+        p.add_argument(
+            "--write-baseline", action="store_true",
+            help="snapshot current findings into the baseline file and "
+                 "exit 0",
+        )
+        p.add_argument(
+            "--show-suppressed", action="store_true",
+            help="also list baselined findings individually",
+        )
+        p.add_argument(
+            "--check-unused-baseline", action="store_true",
+            help="fail when the baseline carries entries no current "
+                 "finding matches (stale suppressions)",
+        )
+
     q = exp_sub.add_parser(
         "run", help="execute a sweep spec into the result store"
     )
@@ -204,6 +236,12 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument(
         "--no-resume", action="store_true",
         help="re-execute cells even when already present in the run",
+    )
+    q.add_argument(
+        "--sanitize", action="store_true",
+        help="runtime determinism sanitizer: run every executed cell "
+             "twice, uncached, and require bit-identical probe traces "
+             "(also enabled by REPRO_SANITIZE=1)",
     )
     _add_parallel_args(q)
 
@@ -261,28 +299,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="determinism/parallel-safety linter (rule catalog: "
              "docs/ANALYSIS.md)",
     )
-    p.add_argument(
-        "paths", nargs="*",
-        help="files or directories to lint (default: the repro package)",
+    _add_lint_args(p, ".repro-lint-baseline.json")
+
+    p = sub.add_parser(
+        "lint-flow",
+        help="whole-program dataflow analyzer: races on worker paths, "
+             "kernel-policy taint, cache-key escapes (docs/ANALYSIS.md "
+             "Tier C)",
     )
-    p.add_argument("--json", action="store_true", help="machine-readable output")
-    p.add_argument(
-        "--baseline", metavar="FILE", default=None,
-        help="baseline suppression file "
-             "(default: ./.repro-lint-baseline.json if present)",
-    )
-    p.add_argument(
-        "--no-baseline", action="store_true",
-        help="report every finding, ignoring the baseline file",
-    )
-    p.add_argument(
-        "--write-baseline", action="store_true",
-        help="snapshot current findings into the baseline file and exit 0",
-    )
-    p.add_argument(
-        "--show-suppressed", action="store_true",
-        help="also list baselined findings individually",
-    )
+    _add_lint_args(p, ".repro-flow-baseline.json")
 
     p = sub.add_parser(
         "lint-plan", help="statically verify compiled execution plans"
@@ -457,24 +482,20 @@ def _cmd_cache(args) -> int:
     return 0
 
 
-def _cmd_lint(args) -> int:
+def _finish_lint(args, findings, default_baseline_name: str) -> int:
+    """Baseline handling + reporting shared by ``lint`` and ``lint-flow``."""
     from pathlib import Path
 
     from repro.analysis import (
-        lint_paths,
         load_baseline,
         render_json,
         render_text,
         write_baseline,
     )
-    from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline, partition
-    from repro.analysis.codelint import default_lint_root
-
-    targets = args.paths or [default_lint_root()]
-    findings = lint_paths(targets)
+    from repro.analysis.baseline import Baseline, partition, unused_entries
 
     baseline_path = Path(args.baseline) if args.baseline else Path(
-        DEFAULT_BASELINE_NAME
+        default_baseline_name
     )
     if args.write_baseline:
         written = write_baseline(baseline_path, findings)
@@ -498,7 +519,45 @@ def _cmd_lint(args) -> int:
     else:
         print(render_text(fresh, suppressed,
                           verbose_suppressed=args.show_suppressed))
-    return 1 if fresh else 0
+    status = 1 if fresh else 0
+    if args.check_unused_baseline:
+        stale = unused_entries(findings, baseline)
+        for fp in sorted(stale):
+            entry = stale[fp]
+            print(
+                "stale baseline entry {}: {} {} ({!r})".format(
+                    fp, entry.get("rule", "?"), entry.get("path", "?"),
+                    entry.get("snippet", ""),
+                ),
+                file=sys.stderr,
+            )
+        if stale:
+            print(
+                f"error: {len(stale)} baseline entr"
+                f"{'y is' if len(stale) == 1 else 'ies are'} no longer "
+                f"matched by any finding; prune {baseline_path}",
+                file=sys.stderr,
+            )
+            status = max(status, 1)
+    return status
+
+
+def _cmd_lint(args) -> int:
+    from repro.analysis import lint_paths
+    from repro.analysis.codelint import default_lint_root
+
+    targets = args.paths or [default_lint_root()]
+    findings = lint_paths(targets)
+    return _finish_lint(args, findings, ".repro-lint-baseline.json")
+
+
+def _cmd_lint_flow(args) -> int:
+    from repro.analysis.baseline import DEFAULT_FLOW_BASELINE_NAME
+    from repro.analysis.dataflow import default_flow_root, lint_flow_paths
+
+    targets = args.paths or [default_flow_root()]
+    findings = lint_flow_paths(targets)
+    return _finish_lint(args, findings, DEFAULT_FLOW_BASELINE_NAME)
 
 
 def _cmd_lint_plan(args) -> int:
@@ -613,10 +672,17 @@ def _cmd_exp(args) -> int:
             print(f"  [{action:6s}] {cell.label}")
 
         print(f"sweep {spec.name!r}: {len(spec.expand())} cells")
-        outcome = run_sweep(
-            spec, store=store, run=args.run,
-            resume=not args.no_resume, progress=progress,
-        )
+        from repro.sanitize import SanitizerError
+
+        try:
+            outcome = run_sweep(
+                spec, store=store, run=args.run,
+                resume=not args.no_resume, progress=progress,
+                sanitize=True if args.sanitize else None,
+            )
+        except SanitizerError as exc:
+            print(f"sanitizer: {exc}", file=sys.stderr)
+            return 1
         print(
             f"run {outcome.run!r}: {outcome.executed} executed, "
             f"{outcome.resumed} resumed from the store"
@@ -688,6 +754,7 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "exp": _cmd_exp,
     "lint": _cmd_lint,
+    "lint-flow": _cmd_lint_flow,
     "lint-plan": _cmd_lint_plan,
 }
 

@@ -178,6 +178,16 @@ def merge_run_results(results: Sequence[RunResult]) -> RunResult:
             raise ValueError("refusing to merge results of different designs")
     if len(results) == 1:
         return first
+    from repro import sanitize
+
+    if sanitize.is_active():
+        # Sanitizer probe: section/scalar *iteration order* feeds the
+        # merged dicts below; order drift would reorder merged stats.
+        sanitize.emit(
+            "merge",
+            f"run_results[{len(results)}]",
+            (tuple(first.sections), tuple(first.scalars)),
+        )
     counts = [0] * len(first.counts)
     for r in results:
         for i, c in enumerate(r.counts):

@@ -25,16 +25,17 @@ from dataclasses import dataclass
 from datetime import datetime, timezone
 from typing import Callable, Mapping
 
+from repro import sanitize as _sanitize
 from repro.bench.runner import run_backend_cached, runner_stats
 from repro.bench.workloads import roots_for
-from repro.core.backend import config_signature, get_backend
+from repro.core.backend import Backend, config_signature, get_backend
 from repro.core.provenance import environment_provenance
 from repro.experiments.spec import Cell, SweepSpec
 from repro.experiments.store import ResultRow, ResultStore
 from repro.graph.datasets import load_dataset
 from repro.setops.kernels import kernel_counters
 
-__all__ = ["SweepOutcome", "run_sweep"]
+__all__ = ["SweepOutcome", "run_sweep", "sanitized_cell_check"]
 
 
 @dataclass(frozen=True)
@@ -60,6 +61,53 @@ def _counter_delta(before: Mapping[str, int], after: Mapping[str, int]):
     return delta
 
 
+def sanitized_cell_check(
+    backend: Backend,
+    graph: object,
+    cell: Cell,
+    config: object,
+    roots,
+) -> None:
+    """Run one cell twice with sanitizer probes armed and compare.
+
+    Both executions call ``backend.run`` directly — deliberately
+    *bypassing* the memo/disk caches: a cached second run would record
+    zero kernel events and trivially "match".  Raises
+    :class:`repro.sanitize.SanitizerError` on any trace divergence or
+    result mismatch.
+    """
+    traces: list[_sanitize.Trace] = []
+    results = []
+    for _ in range(2):
+        with _sanitize.capture() as trace:
+            results.append(
+                backend.run(
+                    graph, cell.pattern, config,
+                    roots=roots, schedule=cell.schedule, jobs=cell.jobs,
+                )
+            )
+        traces.append(trace)
+    problems = _sanitize.compare_traces(traces[0], traces[1])
+    first, second = results
+    if (
+        first.count != second.count
+        or tuple(first.counts) != tuple(second.counts)
+        or first.cycles != second.cycles
+    ):
+        problems.append(
+            "results differ: count {} vs {}, cycles {} vs {}".format(
+                first.count, second.count, first.cycles, second.cycles
+            )
+        )
+    if problems:
+        raise _sanitize.SanitizerError(
+            "sanitized double-run of cell ({}, {}, {}) diverged:\n  ".format(
+                cell.pattern, cell.graph, cell.backend
+            )
+            + "\n  ".join(problems)
+        )
+
+
 def run_sweep(
     spec: SweepSpec,
     *,
@@ -69,6 +117,7 @@ def run_sweep(
     disk: bool | None = None,
     graphs: Mapping[str, object] | None = None,
     progress: Callable[[Cell, str], None] | None = None,
+    sanitize: bool | None = None,
 ) -> SweepOutcome:
     """Execute every cell of ``spec`` into ``store`` under run ``run``
     (default: the spec's name).
@@ -80,8 +129,15 @@ def run_sweep(
     :class:`~repro.graph.csr.CSRGraph` objects, bypassing the dataset
     catalog — used by tests and library callers.  ``progress`` receives
     ``(cell, "run" | "resume")`` per cell.
+
+    ``sanitize`` arms the runtime determinism sanitizer
+    (:mod:`repro.sanitize`): every *executed* cell is first run twice,
+    uncached, and the two probe traces must be bit-identical.  ``None``
+    defers to the ``REPRO_SANITIZE`` environment variable.  Resumed
+    cells are not re-checked.
     """
     store = store if store is not None else ResultStore()
+    sanitizing = sanitize if sanitize is not None else _sanitize.env_enabled()
     run_name = run or spec.name
     cells = spec.expand()
     seen = store.keys(run_name) if resume else set()
@@ -109,8 +165,14 @@ def run_sweep(
                 progress(cell, "resume")
             continue
 
+        if sanitizing:
+            sanitized_cell_check(backend, graph, cell, config, roots)
+
         stats_before = runner_stats()
         kernels_before = kernel_counters()
+        # Presence-only probe: a clock read *inside* a sanitized capture
+        # means measurement code leaked onto a simulated path.
+        _sanitize.emit_clock("experiments.executor.run_sweep")
         start = time.perf_counter()
         result = run_backend_cached(
             backend, graph, cell.graph, cell.pattern, config,

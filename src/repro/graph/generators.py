@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import sanitize
 from repro.graph.builders import from_edges
 from repro.graph.csr import CSRGraph
 
@@ -28,6 +29,19 @@ __all__ = [
 ]
 
 
+def _rng(seed: int, label: str) -> np.random.Generator:
+    """Seeded generator plus a sanitizer probe.
+
+    Recording the (generator, seed) pair on construction means a
+    double-run trace diverges as soon as any caller varies seeds or
+    generator call order between runs — without paying to digest every
+    draw on the fast path.
+    """
+    if sanitize.is_active():
+        sanitize.emit("rng", label, seed)
+    return np.random.default_rng(seed)
+
+
 def erdos_renyi(n: int, p: float, *, seed: int = 0) -> CSRGraph:
     """G(n, p) random graph.
 
@@ -36,7 +50,7 @@ def erdos_renyi(n: int, p: float, *, seed: int = 0) -> CSRGraph:
     """
     if not 0.0 <= p <= 1.0:
         raise ValueError("p must be in [0, 1]")
-    rng = np.random.default_rng(seed)
+    rng = _rng(seed, "erdos_renyi")
     edges: list[tuple[int, int]] = []
     if p > 0.0 and n > 1:
         # Iterate potential edges in lexicographic order, skipping
@@ -69,7 +83,7 @@ def barabasi_albert(n: int, m: int, *, seed: int = 0) -> CSRGraph:
     """
     if m < 1 or m >= n:
         raise ValueError("need 1 <= m < n")
-    rng = np.random.default_rng(seed)
+    rng = _rng(seed, "barabasi_albert")
     # Repeated-nodes list for preferential attachment.
     repeated: list[int] = []
     edges: list[tuple[int, int]] = []
@@ -126,7 +140,7 @@ def powerlaw_configuration(
         raise ValueError("n must be positive")
     if min_degree < 1:
         raise ValueError("min_degree must be >= 1")
-    rng = np.random.default_rng(seed)
+    rng = _rng(seed, "powerlaw_configuration")
     hi = max_degree if max_degree is not None else max(min_degree + 1, n - 1)
     hi = min(hi, n - 1) if n > 1 else 1
     ds = np.arange(min_degree, hi + 1, dtype=np.float64)
@@ -160,7 +174,7 @@ def planted_cliques(
     """
     if clique_size > n:
         raise ValueError("clique_size cannot exceed n")
-    rng = np.random.default_rng(seed)
+    rng = _rng(seed, "planted_cliques")
     edges: list[tuple[int, int]] = []
     if background_p > 0:
         bg = erdos_renyi(n, background_p, seed=seed + 1)
@@ -191,7 +205,7 @@ def rmat(
         raise ValueError("a + b + c must be in (0, 1)")
     n = 1 << scale
     num_edges = n * edge_factor
-    rng = np.random.default_rng(seed)
+    rng = _rng(seed, "rmat")
     src = np.zeros(num_edges, dtype=np.int64)
     dst = np.zeros(num_edges, dtype=np.int64)
     for level in range(scale):
@@ -223,7 +237,7 @@ def watts_strogatz(n: int, k: int, p: float, *, seed: int = 0) -> CSRGraph:
         raise ValueError("k must be < n")
     if not 0.0 <= p <= 1.0:
         raise ValueError("p must be in [0, 1]")
-    rng = np.random.default_rng(seed)
+    rng = _rng(seed, "watts_strogatz")
     edges: list[tuple[int, int]] = []
     for u in range(n):
         for j in range(1, k // 2 + 1):
@@ -255,7 +269,7 @@ def stochastic_block(
     """
     if not 0 <= p_out <= p_in <= 1:
         raise ValueError("need 0 <= p_out <= p_in <= 1")
-    rng = np.random.default_rng(seed)
+    rng = _rng(seed, "stochastic_block")
     n = sum(sizes)
     starts = np.cumsum([0] + list(sizes))
     block_of = np.zeros(n, dtype=np.int64)

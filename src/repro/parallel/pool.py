@@ -27,6 +27,8 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Sequence
 
+from repro import sanitize
+
 __all__ = ["run_shards", "pool_unavailable_reason"]
 
 # Worker-process globals installed by the pool initializer.
@@ -38,7 +40,10 @@ _WARNED = False
 
 
 def _initializer(worker: Callable[[Any, Any], Any], payload: Any) -> None:
-    global _WORKER, _PAYLOAD
+    # Installing per-process state is this function's entire job: each
+    # worker gets its own copy on purpose, and the parent never reads
+    # these names back.
+    global _WORKER, _PAYLOAD  # noqa: RACE001 - intentional per-process state
     _WORKER = worker
     _PAYLOAD = payload
 
@@ -71,10 +76,19 @@ def run_shards(
     a single shard) runs serially in-process.  ``worker`` must be a
     module-level function and ``payload``/shards/results picklable.
     """
-    global _POOL_FAILURE, _WARNED
+    # The failure latch is advisory (skip doomed pool retries, warn
+    # once).  A worker-side write only affects that process's latch;
+    # shard results are unaffected either way.
+    global _POOL_FAILURE, _WARNED  # noqa: RACE001 - advisory latch only
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     shards = list(shards)
+    if sanitize.is_active():
+        # Sanitizer probe: shard *contents and order* are part of the
+        # determinism contract (results return in submission order).
+        # The pool/serial mode is deliberately not recorded — the two
+        # produce identical results by construction.
+        sanitize.emit("pool", f"run_shards[{len(shards)}]", shards)
     if jobs <= 1 or len(shards) <= 1:
         return _serial(worker, payload, shards)
     if _POOL_FAILURE is not None:

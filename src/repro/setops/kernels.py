@@ -45,6 +45,7 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from repro import sanitize
 from repro.pattern.plan import OpKind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -91,7 +92,13 @@ _COUNTERS: dict[str, int] = {}
 
 
 def _tally(name: str, n: int = 1) -> None:
-    _COUNTERS[name] = _COUNTERS.get(name, 0) + n
+    # Per-process by design (see the section comment above): counters
+    # are a profiling aid, never an input to results or timing.
+    _COUNTERS[name] = _COUNTERS.get(name, 0) + n  # noqa: RACE001
+    if sanitize.is_active():
+        # Sanitizer probe: the adaptive dispatch *sequence* must be
+        # identical across double-runs of the same job.
+        sanitize.emit("kernel", name)
 
 
 def kernel_counters() -> dict[str, int]:

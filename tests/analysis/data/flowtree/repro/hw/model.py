@@ -1,0 +1,7 @@
+"""Fixture: kernel policy leaking into a timing quantity (TAINT001)."""
+
+from repro.setops.kernels import KernelPolicy
+
+
+def busy_cycles(policy: KernelPolicy):
+    return policy.gallop_ratio * 2.0

@@ -1,0 +1,15 @@
+"""Fixture: worker-path race hazards (RACE001 + RACE002)."""
+
+from repro.parallel.pool import run_shards
+
+_CACHE = {}
+
+
+def _worker(payload, shard):
+    _CACHE[shard] = payload
+    payload["seen"] = shard
+    return shard
+
+
+def drive(chunks):
+    return run_shards(_worker, {}, chunks, 4)

@@ -1,0 +1,89 @@
+"""Property tests: Tier-C verdicts are *structural*, not positional.
+
+Reordering top-level definitions or consistently renaming functions
+within a module must never change which rules fire or how often —
+verdicts depend on the call graph and dataflow, not on source layout.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.dataflow import analyze_sources
+
+# The module as independent top-level blocks; any order is valid
+# Python and must produce the same verdict.
+_BLOCKS = (
+    "from repro.parallel.pool import run_shards\n",
+    "_CACHE = {}\n",
+    (
+        "def WORKER(payload, shard):\n"
+        "    HELPER(shard)\n"
+        "    payload['seen'] = shard\n"
+        "    return shard\n"
+    ),
+    (
+        "def HELPER(shard):\n"
+        "    _CACHE[shard] = shard\n"
+    ),
+    (
+        "def DRIVE(chunks):\n"
+        "    return run_shards(WORKER, {}, chunks, 4)\n"
+    ),
+)
+
+# RACE001 (HELPER mutates _CACHE on a worker path) +
+# RACE002 (WORKER mutates its payload).
+_EXPECTED = Counter({"RACE001": 1, "RACE002": 1})
+
+_NAMES = st.sampled_from([
+    "fn", "go", "chew", "munch", "process_one", "w0rker", "deep_helper",
+    "xs", "apply_fn", "crunch",
+])
+
+
+def _verdict(source):
+    findings = analyze_sources({"repro.w": source})
+    return Counter(f.rule for f in findings)
+
+
+def _render(order, names):
+    source = "".join(_BLOCKS[i] + "\n" for i in order)
+    for placeholder, name in names.items():
+        source = source.replace(placeholder, name)
+    return source
+
+
+@settings(max_examples=30, deadline=None)
+@given(order=st.permutations(range(len(_BLOCKS))))
+def test_verdict_stable_under_reordering(order):
+    source = _render(
+        order, {"WORKER": "worker", "HELPER": "helper", "DRIVE": "drive"}
+    )
+    assert _verdict(source) == _EXPECTED
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    names=st.lists(_NAMES, min_size=3, max_size=3, unique=True),
+    order=st.permutations(range(len(_BLOCKS))),
+)
+def test_verdict_stable_under_renaming_and_reordering(names, order):
+    source = _render(
+        order,
+        {"WORKER": names[0], "HELPER": names[1], "DRIVE": names[2]},
+    )
+    assert _verdict(source) == _EXPECTED
+
+
+@settings(max_examples=20, deadline=None)
+@given(order=st.permutations(range(len(_BLOCKS))))
+def test_finding_order_is_deterministic(order):
+    """Same source, repeated analysis: byte-identical finding list."""
+    source = _render(
+        order, {"WORKER": "worker", "HELPER": "helper", "DRIVE": "drive"}
+    )
+    first = analyze_sources({"repro.w": source})
+    second = analyze_sources({"repro.w": source})
+    assert first == second
