@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: install test bench bench-fast bench-kernels bench-sweep examples clean loc lint lint-flow check
+.PHONY: install test bench bench-fast bench-kernels bench-sweep examples clean loc lint lint-flow chaos check
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -58,7 +58,13 @@ lint:
 lint-flow:
 	$(PYTHON) -m repro lint-flow --check-unused-baseline
 
-check: test-fast lint lint-flow
+# Chaos gate: the smoke sweep under ~30% injected shard crashes plus
+# transient faults must exit 0, match the fault-free run bit for bit,
+# and show nonzero retry counters (docs/RESILIENCE.md).
+chaos:
+	$(PYTHON) -m pytest tests/chaos -x -q
+
+check: test-fast lint lint-flow chaos
 
 loc:
 	find src tests benchmarks examples -name '*.py' | xargs wc -l | tail -1

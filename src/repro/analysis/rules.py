@@ -11,6 +11,7 @@ CACHE001   error     config dataclass field escaping the cache schema hash
 ARCH001    error     simulator entry point imported around the backend registry
 PERF001    error     ``np.delete``/``np.append`` inside a loop in a hot path
 STORE001   error     result file written around the experiment store
+ERR001     error     broad exception swallow on a worker/hot path
 HYG001     warning   mutable default argument
 HYG002     warning   bare ``except:``
 =========  ========  ==========================================================
@@ -606,6 +607,90 @@ STORE001 = register(
         summary="benchmark result written around the experiment store",
         scope=RESULT_WRITER_PACKAGES,
         check=_check_store001,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# ERR001 — broad exception swallows on worker/hot paths
+# ----------------------------------------------------------------------
+
+#: Packages where a silent `except Exception: pass` can absorb a real
+#: defect (a crashed worker, a torn cache entry, a failed cell) and
+#: turn it into silently-wrong or silently-missing results.
+ERR_SWALLOW_PACKAGES = HOT_PATH_PACKAGES + (
+    "repro.cache",
+    "repro.experiments",
+    "repro.resilience",
+)
+
+_BROAD_EXCEPTION_NAMES = {"Exception", "BaseException"}
+
+
+def _broad_exception_name(type_expr: ast.expr | None) -> str | None:
+    """The over-broad class caught by a handler, or None if narrow.
+
+    Bare ``except:`` returns ``""``; tuple handlers are broad when any
+    element is.
+    """
+    if type_expr is None:
+        return ""
+    candidates = (
+        type_expr.elts if isinstance(type_expr, ast.Tuple) else [type_expr]
+    )
+    for candidate in candidates:
+        chain = attr_chain(candidate)
+        if chain and chain[-1] in _BROAD_EXCEPTION_NAMES:
+            return chain[-1]
+    return None
+
+
+def _is_swallow_body(body: list[ast.stmt]) -> bool:
+    """Whether a handler body discards the exception without acting:
+    only ``pass``/``continue``/``...`` (docstrings tolerated)."""
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, ast.Constant
+        ):
+            # Ellipsis placeholder or a string used as a comment.
+            continue
+        return False
+    return True
+
+
+def _check_err001(tree: ast.Module, ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        caught = _broad_exception_name(node.type)
+        if caught is None or not _is_swallow_body(node.body):
+            continue
+        what = (
+            "bare `except:`" if caught == "" else f"`except {caught}:`"
+        )
+        found = ctx.finding(
+            ERR001,
+            node,
+            f"{what} with a pass/continue body silently swallows every "
+            "failure on a worker/hot path — a crashed shard or torn "
+            "cache entry becomes silently-missing results; catch the "
+            "narrowest exceptions the operation can raise, or route "
+            "retryables through repro.errors and count the event "
+            "(docs/RESILIENCE.md)",
+        )
+        if found is not None:
+            yield found
+
+
+ERR001 = register(
+    Rule(
+        id="ERR001",
+        severity=Severity.ERROR,
+        summary="broad exception swallow on a worker/hot path",
+        scope=ERR_SWALLOW_PACKAGES,
+        check=_check_err001,
     )
 )
 

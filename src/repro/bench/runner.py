@@ -126,7 +126,13 @@ def _cached(key: str, compute, use_disk: bool) -> RunResult:
     result = compute()
     _MEMO[key] = result
     if use_disk:
-        default_cache().put(key, result)
+        stored = result
+        if getattr(result, "retry_stats", None) is not None:
+            # Recovery accounting describes one past execution, not the
+            # result; a cache hit is not a retried run, so never
+            # persist it (docs/RESILIENCE.md).
+            stored = replace(result, retry_stats=None)
+        default_cache().put(key, stored)
     return result
 
 

@@ -22,10 +22,18 @@ Layout and guarantees
 * **Invalidation**: bumping :data:`SCHEMA_VERSION` (done whenever a
   timing model changes observable results) orphans every old entry;
   corrupted, truncated, unreadable, or mismatched entries are treated
-  as misses, deleted best-effort, and recomputed — never raised.
+  as misses and recomputed — never raised.
+* **Failure accounting** (docs/RESILIENCE.md): the cache is an
+  accelerator, never a correctness dependency, so I/O failures stay
+  silent at the call site — but they are *counted*
+  (:class:`CacheCounters`: ``write_failures``, ``quarantined``) and
+  surfaced by ``python -m repro cache info``.  Unreadable entries are
+  moved into ``<cache>/quarantine/`` for forensics instead of being
+  destroyed; ``python -m repro cache doctor`` scans the whole cache,
+  quarantines what cannot be loaded, and reports.
 
-``python -m repro cache {info,clear,path}`` inspects and clears the
-cache from the shell.
+``python -m repro cache {info,clear,path,doctor}`` inspects and
+maintains the cache from the shell.
 """
 
 from __future__ import annotations
@@ -41,6 +49,7 @@ from typing import Any, Callable, Iterable
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.resilience import faults
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -59,6 +68,11 @@ __all__ = [
 SCHEMA_VERSION = 1
 
 _ENTRY_SUFFIX = ".pkl"
+
+#: Subdirectory (inside the cache) holding unreadable entries moved
+#: aside for forensics; excluded from ``entries()`` by construction
+#: (the glob is non-recursive).
+_QUARANTINE_DIR = "quarantine"
 
 
 def cache_dir() -> Path:
@@ -109,12 +123,31 @@ def make_key(**parts: Any) -> str:
 
 @dataclass
 class CacheCounters:
-    """Hit/miss accounting for one :class:`DiskCache` instance."""
+    """Hit/miss and failure accounting for one :class:`DiskCache`.
+
+    ``errors`` counts every anomaly (read and write); the finer-grained
+    ``write_failures`` (swallowed ``put`` I/O errors) and
+    ``quarantined`` (unreadable entries moved aside) exist so a run
+    whose cache silently stopped persisting is visible in
+    ``repro cache info`` instead of just mysteriously slow.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     errors: int = 0
+    write_failures: int = 0
+    quarantined: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "errors": self.errors,
+            "write_failures": self.write_failures,
+            "quarantined": self.quarantined,
+        }
 
 
 class DiskCache:
@@ -129,9 +162,32 @@ class DiskCache:
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}{_ENTRY_SUFFIX}"
 
+    def quarantine_dir(self) -> Path:
+        """Where unreadable entries are moved for post-mortem."""
+        return self.directory / _QUARANTINE_DIR
+
+    def _quarantine(self, path: Path) -> bool:
+        """Move an unreadable entry aside; fall back to deletion.
+
+        Returns whether the bytes were preserved.  Either way the entry
+        stops shadowing its key.
+        """
+        try:
+            qdir = self.quarantine_dir()
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / path.name)
+            self.counters.quarantined += 1
+            return True
+        except OSError:
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return False
+
     def get(self, key: str) -> tuple[bool, Any]:
-        """``(hit, value)``; corrupt or mismatched entries count as
-        misses and are removed best-effort."""
+        """``(hit, value)``; corrupt entries count as misses and are
+        quarantined, stale/foreign entries are dropped."""
         path = self._path(key)
         try:
             with open(path, "rb") as fh:
@@ -143,7 +199,8 @@ class DiskCache:
             ):
                 self.counters.hits += 1
                 return True, entry["value"]
-            # Stale schema or foreign entry under our name: drop it.
+            # Stale schema or foreign entry under our name: not corrupt,
+            # just obsolete — drop it without keeping the bytes.
             self.counters.errors += 1
             path.unlink(missing_ok=True)
         except FileNotFoundError:
@@ -151,18 +208,20 @@ class DiskCache:
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError, ValueError):
             self.counters.errors += 1
-            try:
-                path.unlink(missing_ok=True)
-            except OSError:
-                pass
+            self._quarantine(path)
         self.counters.misses += 1
         return False, None
 
     def put(self, key: str, value: Any) -> None:
         """Atomically publish ``value`` under ``key``; I/O failures are
         swallowed (the cache is an accelerator, never a correctness
-        dependency)."""
+        dependency) but counted in ``counters.write_failures``."""
         entry = {"schema": SCHEMA_VERSION, "key": key, "value": value}
+        data = pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
+        if faults.plan_active():
+            # Fault site "cache": a `corrupt` rule models a torn write
+            # that slipped past the atomic rename (docs/RESILIENCE.md).
+            data = faults.corrupt_bytes("cache", key, data)
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
@@ -170,7 +229,7 @@ class DiskCache:
             )
             try:
                 with os.fdopen(fd, "wb") as fh:
-                    pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                    fh.write(data)
                 os.replace(tmp, self._path(key))
             except BaseException:
                 os.unlink(tmp)
@@ -178,6 +237,7 @@ class DiskCache:
             self.counters.stores += 1
         except OSError:
             self.counters.errors += 1
+            self.counters.write_failures += 1
 
     # ------------------------------------------------------------------
 
@@ -204,6 +264,66 @@ class DiskCache:
             except OSError:
                 pass
         return removed
+
+    # ------------------------------------------------------------------
+
+    def quarantined_entries(self) -> list[Path]:
+        """Files previously moved into the quarantine directory."""
+        qdir = self.quarantine_dir()
+        if not qdir.is_dir():
+            return []
+        return sorted(qdir.glob(f"*{_ENTRY_SUFFIX}"))
+
+    def purge_quarantine(self) -> int:
+        """Delete quarantined files; returns how many were removed."""
+        removed = 0
+        for p in self.quarantined_entries():
+            try:
+                p.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def doctor(self) -> dict[str, int]:
+        """Full-cache health scan (``python -m repro cache doctor``).
+
+        Loads and validates every entry: readable and current counts as
+        ``ok``; readable but schema-stale or key-mismatched counts as
+        ``stale`` and is deleted; unreadable counts as ``corrupt`` and
+        is quarantined.  Returns the tally (plus ``quarantine_backlog``,
+        the number of previously quarantined files awaiting review).
+        """
+        report = {
+            "checked": 0, "ok": 0, "stale": 0, "corrupt": 0,
+            "quarantined": 0,
+        }
+        for path in self.entries():
+            report["checked"] += 1
+            key = path.name[: -len(_ENTRY_SUFFIX)]
+            try:
+                with open(path, "rb") as fh:
+                    entry = pickle.load(fh)
+            except (OSError, pickle.UnpicklingError, EOFError,
+                    AttributeError, ImportError, IndexError, ValueError):
+                report["corrupt"] += 1
+                if self._quarantine(path):
+                    report["quarantined"] += 1
+                continue
+            if (
+                isinstance(entry, dict)
+                and entry.get("schema") == SCHEMA_VERSION
+                and entry.get("key") == key
+            ):
+                report["ok"] += 1
+            else:
+                report["stale"] += 1
+                try:
+                    path.unlink(missing_ok=True)
+                except OSError:
+                    pass
+        report["quarantine_backlog"] = len(self.quarantined_entries())
+        return report
 
 
 # ----------------------------------------------------------------------

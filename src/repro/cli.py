@@ -175,11 +175,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
-        "cache", help="inspect or clear the persistent result cache"
+        "cache", help="inspect, clear, or health-check the result cache"
     )
     p.add_argument(
-        "action", choices=["info", "clear", "path"],
-        help="info: entries and size; clear: delete entries; path: print dir",
+        "action", choices=["info", "clear", "path", "doctor"],
+        help="info: entries, size, counters; clear: delete entries; "
+             "path: print dir; doctor: validate every entry, quarantine "
+             "unreadable ones (docs/RESILIENCE.md)",
+    )
+    p.add_argument(
+        "--purge-quarantine", action="store_true",
+        help="with doctor: delete previously quarantined files after "
+             "the scan",
     )
 
     p = sub.add_parser(
@@ -242,6 +249,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="runtime determinism sanitizer: run every executed cell "
              "twice, uncached, and require bit-identical probe traces "
              "(also enabled by REPRO_SANITIZE=1)",
+    )
+    q.add_argument(
+        "--retry-failed", action="store_true",
+        help="re-execute only cells whose latest row is a failure; "
+             "successful cells stay resumed (docs/RESILIENCE.md)",
+    )
+    q.add_argument(
+        "--no-isolate", action="store_true",
+        help="abort the sweep at the first failing cell instead of "
+             "recording a structured failure row",
     )
     _add_parallel_args(q)
 
@@ -474,11 +491,32 @@ def _cmd_cache(args) -> int:
         print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} "
               f"from {cache.directory}")
         return 0
+    if args.action == "doctor":
+        report = cache.doctor()
+        print(f"directory:   {cache.directory}")
+        print(f"checked:     {report['checked']}")
+        print(f"ok:          {report['ok']}")
+        print(f"stale:       {report['stale']} (deleted)")
+        print(f"corrupt:     {report['corrupt']} "
+              f"({report['quarantined']} quarantined)")
+        if args.purge_quarantine:
+            purged = cache.purge_quarantine()
+            print(f"quarantine:  purged {purged} file(s)")
+        else:
+            print(f"quarantine:  {report['quarantine_backlog']} file(s) "
+                  f"in {cache.quarantine_dir()}")
+        return 0
     entries = cache.entries()
     print(f"directory: {cache.directory}")
     print(f"schema:    v{SCHEMA_VERSION}")
     print(f"entries:   {len(entries)}")
     print(f"bytes:     {cache.size_bytes():,}")
+    counters = cache.counters.as_dict()
+    print("counters:  " + "  ".join(f"{k}={v}" for k, v in counters.items()))
+    quarantined = cache.quarantined_entries()
+    if quarantined:
+        print(f"quarantine: {len(quarantined)} file(s) awaiting review "
+              f"(repro cache doctor --purge-quarantine)")
     return 0
 
 
@@ -674,20 +712,33 @@ def _cmd_exp(args) -> int:
         print(f"sweep {spec.name!r}: {len(spec.expand())} cells")
         from repro.sanitize import SanitizerError
 
+        from repro.errors import CellFailed
+
         try:
             outcome = run_sweep(
                 spec, store=store, run=args.run,
                 resume=not args.no_resume, progress=progress,
                 sanitize=True if args.sanitize else None,
+                isolate=not args.no_isolate,
+                retry_failed=args.retry_failed,
             )
         except SanitizerError as exc:
             print(f"sanitizer: {exc}", file=sys.stderr)
             return 1
-        print(
+        except CellFailed as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        summary = (
             f"run {outcome.run!r}: {outcome.executed} executed, "
             f"{outcome.resumed} resumed from the store"
         )
-        return 0
+        if outcome.failed:
+            summary += (
+                f", {outcome.failed} failed (recorded; re-run with "
+                f"--retry-failed)"
+            )
+        print(summary)
+        return 1 if outcome.failed else 0
 
     if args.exp_command == "report":
         try:

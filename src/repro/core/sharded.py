@@ -26,6 +26,7 @@ dispatch shares one module.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, Iterable, Sequence
 
 from repro.core.backend import Backend, get_backend
@@ -38,6 +39,7 @@ from repro.parallel.chunking import (
 )
 from repro.parallel.pool import run_shards
 from repro.pattern.plan import ExecutionPlan
+from repro.resilience.retry import RetryStats
 
 __all__ = [
     "count_embeddings_parallel",
@@ -111,8 +113,14 @@ def run_sharded(
         "memory": memory,
         "schedule": schedule,
     }
-    results = run_shards(_backend_worker, payload, shards, jobs)
-    return backend.merge(results)
+    stats = RetryStats()
+    results = run_shards(_backend_worker, payload, shards, jobs, stats=stats)
+    merged = backend.merge(results)
+    if stats.recovered:
+        # Recovery engaged: surface the accounting on the (otherwise
+        # bit-identical) result so sweeps can report what was absorbed.
+        merged = replace(merged, retry_stats=stats.as_dict())
+    return merged
 
 
 # ----------------------------------------------------------------------

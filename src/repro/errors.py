@@ -1,0 +1,150 @@
+"""The shared exception taxonomy of the execution layers.
+
+Every failure the pool, cache, executor, and CLI can surface is sorted
+into exactly one of two top-level families (docs/RESILIENCE.md):
+
+* :class:`RetryableError` — transient by contract.  Re-running the same
+  work is expected to succeed and, because every execution path is a
+  deterministic function of its inputs, **must** produce the identical
+  result.  The retry machinery in :mod:`repro.parallel.pool` and the
+  ``--retry-failed`` sweep path act only on this family.
+* :class:`FatalError` — deterministic by contract.  Retrying reproduces
+  the same failure (bad arguments, exhausted retry budgets, broken
+  invariants), so the error propagates to the caller immediately.
+
+Anything that is neither (a worker raising ``KeyError`` from a logic
+bug, say) is deliberately *not* wrapped: an unclassified exception is a
+defect report and must keep its original type and traceback.
+
+Subclasses double-inherit stdlib types where the pre-taxonomy code
+raised them (``ConfigError`` is a ``ValueError``), so existing callers
+catching the stdlib type keep working.
+
+This module depends on nothing inside ``repro`` so every package — the
+pool at the bottom of the import graph included — can raise taxonomy
+errors without cycles.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CellFailed",
+    "ConfigError",
+    "FatalError",
+    "InjectedFault",
+    "PoolDegradedWarning",
+    "ReproError",
+    "RetryExhausted",
+    "RetryableError",
+    "ShardTimeout",
+    "WorkerCrash",
+]
+
+
+class ReproError(Exception):
+    """Root of every taxonomy error raised by the execution layers."""
+
+
+# ----------------------------------------------------------------------
+# Fatal family: retrying reproduces the failure.
+# ----------------------------------------------------------------------
+
+
+class FatalError(ReproError):
+    """Deterministic failure — retrying cannot help."""
+
+
+class ConfigError(FatalError, ValueError):
+    """Invalid arguments or configuration (``jobs=0``, bad spec, ...).
+
+    Also a :class:`ValueError`: pre-taxonomy callers that catch the
+    stdlib type keep working.
+    """
+
+
+class RetryExhausted(FatalError):
+    """A shard kept failing retryably past the policy's attempt budget.
+
+    ``__cause__`` carries the last underlying failure; ``attempts`` is
+    how many were made.
+    """
+
+    def __init__(self, message: str, *, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class CellFailed(FatalError):
+    """One sweep cell failed and isolation was disabled.
+
+    With isolation on (the executor default) a failing cell becomes a
+    structured error row instead; this exception is the
+    ``isolate=False`` escape hatch and the type recorded in that row.
+    """
+
+    def __init__(self, label: str, *, attempts: int = 1) -> None:
+        super().__init__(f"cell {label!r} failed (attempt {attempts})")
+        self.label = label
+        self.attempts = attempts
+
+
+# ----------------------------------------------------------------------
+# Retryable family: re-execution is expected to succeed, and the
+# determinism contract guarantees the retried result is bit-identical.
+# ----------------------------------------------------------------------
+
+
+class RetryableError(ReproError):
+    """Transient failure — the retry machinery may re-run the work."""
+
+
+class ShardTimeout(RetryableError):
+    """A shard exceeded the per-shard collection timeout.
+
+    The pool abandons the (possibly hung) worker, rebuilds, and re-runs
+    the shard.
+    """
+
+    def __init__(self, message: str, *, timeout_s: float | None = None) -> None:
+        super().__init__(message)
+        self.timeout_s = timeout_s
+
+
+class WorkerCrash(RetryableError):
+    """A worker process died mid-shard (``BrokenProcessPool``).
+
+    Raised only after the rebuild/retry budget is spent; until then the
+    crash is absorbed by the pool's recovery loop.
+    """
+
+
+class InjectedFault(RetryableError):
+    """A fault planted by :mod:`repro.resilience.faults` fired.
+
+    Transient injections are retryable by construction; the ``fail``
+    kind re-fires on every attempt, modelling a permanently broken cell.
+    """
+
+    def __init__(self, message: str, *, kind: str = "transient") -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
+# ----------------------------------------------------------------------
+# Warnings
+# ----------------------------------------------------------------------
+
+
+class PoolDegradedWarning(RuntimeWarning):
+    """The process pool degraded to serial in-process execution.
+
+    Emitted once per cause: either the host cannot create worker
+    processes at all, or repeated pool deaths exhausted the rebuild
+    budget.  Results are unaffected (the serial path is identical by
+    construction); only the wall clock suffers.  ``reason`` carries the
+    structured cause.
+    """
+
+    def __init__(self, message: str, *, reason: str = "") -> None:
+        super().__init__(message)
+        self.reason = reason

@@ -16,11 +16,23 @@ functional cells — the set-op kernel dispatch-counter deltas
 (docs/KERNELS.md).  This module sits outside the simulation packages,
 so reading the host clock here is deliberate and lint-clean; modelled
 ``cycles`` never depend on it.
+
+Failure isolation (docs/RESILIENCE.md): by default a cell that raises
+does not abort the sweep — the exception becomes a structured
+``status="failed"`` row (type, message, traceback digest, attempt
+count, provenance) and the remaining cells keep running.
+``retry_failed=True`` (CLI: ``repro exp run --retry-failed``) resumes a
+run by re-executing only the cells whose *latest* row is a failure;
+everything that succeeded stays resumed.  Sanitizer divergence
+(:class:`repro.sanitize.SanitizerError`) is never isolated — a
+determinism violation poisons the whole run, not one cell.
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
+import traceback
 from dataclasses import dataclass
 from datetime import datetime, timezone
 from typing import Callable, Mapping
@@ -30,9 +42,12 @@ from repro.bench.runner import run_backend_cached, runner_stats
 from repro.bench.workloads import roots_for
 from repro.core.backend import Backend, config_signature, get_backend
 from repro.core.provenance import environment_provenance
+from repro.errors import CellFailed
 from repro.experiments.spec import Cell, SweepSpec
 from repro.experiments.store import ResultRow, ResultStore
 from repro.graph.datasets import load_dataset
+from repro.parallel import pool as _pool
+from repro.resilience import faults
 from repro.setops.kernels import kernel_counters
 
 __all__ = ["SweepOutcome", "run_sweep", "sanitized_cell_check"]
@@ -40,16 +55,21 @@ __all__ = ["SweepOutcome", "run_sweep", "sanitized_cell_check"]
 
 @dataclass(frozen=True)
 class SweepOutcome:
-    """What one :func:`run_sweep` call did."""
+    """What one :func:`run_sweep` call did.
+
+    ``executed`` counts successful cell measurements; ``failed`` counts
+    cells isolated into failure rows (both appear in ``rows``).
+    """
 
     run: str
     executed: int
     resumed: int
     rows: tuple[ResultRow, ...]
+    failed: int = 0
 
     @property
     def total(self) -> int:
-        return self.executed + self.resumed
+        return self.executed + self.resumed + self.failed
 
 
 def _counter_delta(before: Mapping[str, int], after: Mapping[str, int]):
@@ -108,6 +128,26 @@ def sanitized_cell_check(
         )
 
 
+def _error_record(exc: BaseException, attempt: int) -> dict:
+    """The structured ``error`` column of a failure row.
+
+    The full traceback is reduced to a digest: enough to tell two
+    distinct failures apart (and to match a known one) without writing
+    machine-specific paths into a store that is diffed in git.
+    """
+    tb = "".join(
+        traceback.format_exception(type(exc), exc, exc.__traceback__)
+    )
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc)[:500],
+        "traceback_digest": hashlib.sha256(tb.encode("utf-8")).hexdigest()[
+            :16
+        ],
+        "attempt": attempt,
+    }
+
+
 def run_sweep(
     spec: SweepSpec,
     *,
@@ -118,6 +158,8 @@ def run_sweep(
     graphs: Mapping[str, object] | None = None,
     progress: Callable[[Cell, str], None] | None = None,
     sanitize: bool | None = None,
+    isolate: bool = True,
+    retry_failed: bool = False,
 ) -> SweepOutcome:
     """Execute every cell of ``spec`` into ``store`` under run ``run``
     (default: the spec's name).
@@ -128,24 +170,41 @@ def run_sweep(
     setting).  ``graphs`` maps graph names to preloaded/synthetic
     :class:`~repro.graph.csr.CSRGraph` objects, bypassing the dataset
     catalog — used by tests and library callers.  ``progress`` receives
-    ``(cell, "run" | "resume")`` per cell.
+    ``(cell, "run" | "resume" | "fail")`` per cell.
 
     ``sanitize`` arms the runtime determinism sanitizer
     (:mod:`repro.sanitize`): every *executed* cell is first run twice,
     uncached, and the two probe traces must be bit-identical.  ``None``
     defers to the ``REPRO_SANITIZE`` environment variable.  Resumed
     cells are not re-checked.
+
+    ``isolate=True`` (the default) converts a failing cell into a
+    structured failure row instead of aborting the sweep;
+    ``isolate=False`` raises :class:`repro.errors.CellFailed` at the
+    first failing cell.  ``retry_failed=True`` narrows resumption: only
+    cells whose latest row is ``"failed"`` are re-executed (successful
+    cells stay resumed).  A sanitizer divergence always propagates —
+    isolation is for execution failures, not determinism violations.
     """
     store = store if store is not None else ResultStore()
     sanitizing = sanitize if sanitize is not None else _sanitize.env_enabled()
     run_name = run or spec.name
     cells = spec.expand()
-    seen = store.keys(run_name) if resume else set()
+    if resume:
+        statuses = store.statuses(run_name)
+        if retry_failed:
+            seen = {k for k, s in statuses.items() if s == "ok"}
+        else:
+            seen = set(statuses)
+    else:
+        seen = set()
+    prior_failures = store.failure_counts(run_name) if resume else {}
     shared_provenance = environment_provenance()
 
     loaded: dict[str, object] = dict(graphs or {})
     executed = 0
     resumed = 0
+    failed = 0
     rows: list[ResultRow] = []
     for cell in cells:
         if cell.graph not in loaded:
@@ -165,22 +224,67 @@ def run_sweep(
                 progress(cell, "resume")
             continue
 
-        if sanitizing:
-            sanitized_cell_check(backend, graph, cell, config, roots)
-
+        # Prior failed rows drive the fault attempt counter, so an
+        # injected transient:cell fault clears on a later
+        # --retry-failed pass while fail:cell stays permanent.
+        attempt = prior_failures.get(cell_key, 0)
         stats_before = runner_stats()
         kernels_before = kernel_counters()
+        retry_before = _pool.retry_stats()
         # Presence-only probe: a clock read *inside* a sanitized capture
         # means measurement code leaked onto a simulated path.
         _sanitize.emit_clock("experiments.executor.run_sweep")
         start = time.perf_counter()
-        result = run_backend_cached(
-            backend, graph, cell.graph, cell.pattern, config,
-            roots=roots, schedule=cell.schedule, jobs=cell.jobs, disk=disk,
-        )
+        try:
+            if faults.plan_active():
+                faults.inject("cell", cell_key, attempt)
+            if sanitizing:
+                sanitized_cell_check(backend, graph, cell, config, roots)
+            result = run_backend_cached(
+                backend, graph, cell.graph, cell.pattern, config,
+                roots=roots, schedule=cell.schedule, jobs=cell.jobs,
+                disk=disk,
+            )
+        except _sanitize.SanitizerError:
+            # Determinism violations poison the run; never isolate.
+            raise
+        except Exception as exc:
+            wall_time = time.perf_counter() - start
+            label = f"{cell.pattern}/{cell.graph}/{cell.backend}"
+            if not isolate:
+                raise CellFailed(label, attempts=attempt + 1) from exc
+            row = ResultRow(
+                run=run_name,
+                cell_key=cell_key,
+                pattern=cell.pattern,
+                graph=cell.graph,
+                backend=cell.backend,
+                policy=cell.policy,
+                jobs=cell.jobs,
+                schedule=cell.schedule,
+                config_signature=config_signature(config),
+                wall_time_s=wall_time,
+                status="failed",
+                error=_error_record(exc, attempt + 1),
+                provenance={
+                    **shared_provenance,
+                    "timestamp": datetime.now(timezone.utc).isoformat(
+                        timespec="seconds"
+                    ),
+                },
+            )
+            store.append(row)
+            seen.add(cell_key)
+            prior_failures[cell_key] = attempt + 1
+            rows.append(row)
+            failed += 1
+            if progress is not None:
+                progress(cell, "fail")
+            continue
         wall_time = time.perf_counter() - start
         stats_after = runner_stats()
         kernels_after = kernel_counters()
+        retry_delta = _pool.retry_stats().delta(retry_before)
 
         row = ResultRow(
             run=run_name,
@@ -197,6 +301,7 @@ def run_sweep(
             counts=tuple(int(c) for c in result.counts),
             cycles=float(result.cycles),
             wall_time_s=wall_time,
+            retry=retry_delta.as_dict() if retry_delta.recovered else {},
             dispatch=_counter_delta(kernels_before, kernels_after),
             cache={
                 "memo_hits": stats_after.memo_hits - stats_before.memo_hits,
@@ -219,5 +324,6 @@ def run_sweep(
         if progress is not None:
             progress(cell, "run")
     return SweepOutcome(
-        run=run_name, executed=executed, resumed=resumed, rows=tuple(rows)
+        run=run_name, executed=executed, resumed=resumed, rows=tuple(rows),
+        failed=failed,
     )

@@ -15,8 +15,12 @@ the thresholds documented in docs/BENCHMARKS.md:
   ``baseline / cycle_threshold`` regresses.
 
 Cells present on one side only are informational — sweeps legitimately
-grow and shrink.  ``DiffReport.exit_code`` is nonzero iff at least one
-regression survived, which is what CI and ``repro exp diff`` propagate.
+grow and shrink.  Cells whose latest row is a failure
+(``status="failed"``, docs/RESILIENCE.md) carry no measurement and are
+excluded from comparison with an INFO finding — a failed cell is
+diagnosed by ``repro exp run --retry-failed``, not by diffing zeroes.
+``DiffReport.exit_code`` is nonzero iff at least one regression
+survived, which is what CI and ``repro exp diff`` propagate.
 """
 
 from __future__ import annotations
@@ -113,12 +117,25 @@ def diff_runs(
     """Compare two runs' rows; see the module docstring for the policy."""
     if cycle_threshold <= 1.0 or wall_threshold <= 1.0:
         raise ValueError("thresholds are ratios and must be > 1.0")
-    base = _latest_by_identity(baseline_rows)
-    curr = _latest_by_identity(current_rows)
+    base_all = _latest_by_identity(baseline_rows)
+    curr_all = _latest_by_identity(current_rows)
+    # A cell whose latest row is a failure has no measurement to
+    # compare; keep it out of the join (and say so for the current run).
+    base = {k: r for k, r in base_all.items() if r.ok}
+    curr = {k: r for k, r in curr_all.items() if r.ok}
     findings: list[Finding] = []
     compared = 0
 
-    for identity in sorted(set(base) - set(curr), key=str):
+    for identity in sorted(set(curr_all) - set(curr), key=str):
+        err = curr_all[identity].error
+        findings.append(Finding(
+            INFO, _cell_label(identity),
+            "currently failed ({}); excluded from comparison".format(
+                err.get("type", "unknown error")
+            ),
+        ))
+
+    for identity in sorted(set(base) - set(curr_all), key=str):
         findings.append(Finding(
             INFO, _cell_label(identity), "present only in baseline"
         ))

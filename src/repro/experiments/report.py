@@ -35,6 +35,24 @@ def _sorted(rows: Iterable[ResultRow]) -> list[ResultRow]:
     )
 
 
+def _partition(rows: Iterable[ResultRow]) -> tuple[list[ResultRow], list[ResultRow]]:
+    """``(ok_rows, current_failures)`` for one run's rows.
+
+    Measurement tables render only ``ok`` rows.  A cell counts as
+    *currently* failed when its **latest** row (store file order) is a
+    failure — a failure superseded by a later ``--retry-failed``
+    success disappears from the failure table, matching resume
+    semantics.  All-ok stores partition to ``(rows, [])``, keeping the
+    pre-resilience reports byte-identical.
+    """
+    rows = list(rows)
+    latest: dict[str, ResultRow] = {}
+    for row in rows:
+        latest[row.cell_key] = row
+    failures = _sorted(r for r in latest.values() if not r.ok)
+    return _sorted(r for r in rows if r.ok), failures
+
+
 def _fmt(value: float) -> str:
     return f"{value:.6g}"
 
@@ -122,7 +140,21 @@ def _provenance_rows(rows: Sequence[ResultRow]) -> list[list[str]]:
     return body
 
 
+def _failure_rows(failures: Sequence[ResultRow]) -> list[list[str]]:
+    return [
+        [
+            _cell_name(row),
+            row.error.get("type", "?"),
+            row.error.get("message", ""),
+            str(row.error.get("attempt", "?")),
+            row.provenance.get("timestamp", "?"),
+        ]
+        for row in failures
+    ]
+
+
 _SPEEDUP_HEADER = ["cell", "functional wall s", "wall s", "speedup"]
+_FAILURE_HEADER = ["cell", "error", "message", "attempt", "timestamp"]
 _CYCLES_HEADER = ["pattern/graph", "fingers cycles", "flexminer cycles",
                   "speedup"]
 _PROVENANCE_HEADER = ["cell", "git hash", "config signature", "host",
@@ -140,10 +172,20 @@ def _md_table(header: list[str], body: list[list[str]]) -> str:
 
 def render_markdown(rows: Iterable[ResultRow], *, run: str) -> str:
     """The markdown report for one run's rows (pure; byte-stable)."""
-    rows = _sorted(rows)
+    rows, failures = _partition(rows)
     parts = [f"# Sweep report: {run}", "", f"{len(rows)} result rows.", ""]
+    if failures:
+        parts[-2] = (
+            f"{len(rows)} result rows; "
+            f"{len(failures)} cell(s) currently failed."
+        )
     header, body = _result_table(rows)
     parts += ["## Results", "", _md_table(header, body), ""]
+    if failures:
+        parts += [
+            "## Failures", "",
+            _md_table(_FAILURE_HEADER, _failure_rows(failures)), "",
+        ]
     speedups = _speedup_rows(rows)
     if speedups:
         parts += [
@@ -177,13 +219,24 @@ def _html_table(header: list[str], body: list[list[str]]) -> str:
 
 def render_html(rows: Iterable[ResultRow], *, run: str) -> str:
     """The HTML report for one run's rows (pure; byte-stable)."""
-    rows = _sorted(rows)
+    rows, failures = _partition(rows)
+    summary = f"{len(rows)} result rows."
+    if failures:
+        summary = (
+            f"{len(rows)} result rows; "
+            f"{len(failures)} cell(s) currently failed."
+        )
     sections = [
         f"<h1>Sweep report: {html.escape(run)}</h1>",
-        f"<p>{len(rows)} result rows.</p>",
+        f"<p>{summary}</p>",
         "<h2>Results</h2>",
         _html_table(*_result_table(rows)),
     ]
+    if failures:
+        sections += [
+            "<h2>Failures</h2>",
+            _html_table(_FAILURE_HEADER, _failure_rows(failures)),
+        ]
     speedups = _speedup_rows(rows)
     if speedups:
         sections += [

@@ -41,6 +41,16 @@ class ResultRow:
     makes resume exact: a row exists iff that cache identity was run.
     ``metrics`` holds higher-is-better figures (speedups); ``extras``
     holds informational values excluded from regression checks.
+
+    ``status`` is ``"ok"`` for a measurement and ``"failed"`` for a
+    cell the executor isolated after an exception; failed rows carry a
+    structured ``error`` record (exception type, message, traceback
+    digest, attempt number — docs/RESILIENCE.md, "Sweep failure rows")
+    and zeroed measurement fields.  The *last* row per ``cell_key``
+    wins, so ``--retry-failed`` re-runs append a fresh ``ok`` row that
+    supersedes the failure without rewriting history.  ``retry`` holds
+    the cell's :class:`repro.resilience.retry.RetryStats` delta when
+    shard-level recovery engaged (empty otherwise).
     """
 
     run: str
@@ -57,11 +67,18 @@ class ResultRow:
     counts: tuple[int, ...] = ()
     cycles: float = 0.0
     wall_time_s: float = 0.0
+    status: str = "ok"
+    error: dict = field(default_factory=dict)
+    retry: dict = field(default_factory=dict)
     metrics: dict = field(default_factory=dict)
     extras: dict = field(default_factory=dict)
     dispatch: dict = field(default_factory=dict)
     cache: dict = field(default_factory=dict)
     provenance: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
     def identity(self) -> tuple:
         """The join key for cross-run diffs: *what* was measured,
@@ -159,6 +176,29 @@ class ResultStore:
             return {row.cell_key for row in self.load(run)}
         except FileNotFoundError:
             return set()
+
+    def statuses(self, run: str) -> dict[str, str]:
+        """Last-row-wins status per cell identity (empty for an absent
+        run).  This is what resume decisions read: a cell whose latest
+        row is ``"failed"`` is complete for a normal resume but
+        outstanding for ``--retry-failed``."""
+        try:
+            return {row.cell_key: row.status for row in self.load(run)}
+        except FileNotFoundError:
+            return {}
+
+    def failure_counts(self, run: str) -> dict[str, int]:
+        """How many failed rows each cell identity has accumulated —
+        the executor's per-cell attempt counter across invocations."""
+        counts: dict[str, int] = {}
+        try:
+            rows = self.load(run)
+        except FileNotFoundError:
+            return counts
+        for row in rows:
+            if row.status == "failed":
+                counts[row.cell_key] = counts.get(row.cell_key, 0) + 1
+        return counts
 
     def has(self, run: str, cell_key: str) -> bool:
         return cell_key in self.keys(run)

@@ -31,9 +31,17 @@ from repro.parallel.mining import (
     list_embeddings_parallel,
     per_root_counts_parallel,
 )
-from repro.parallel.pool import pool_unavailable_reason, run_shards
+from repro.parallel.pool import (
+    pool_unavailable_reason,
+    reset_retry_stats,
+    retry_stats,
+    run_shards,
+)
+from repro.resilience.retry import RetryPolicy, RetryStats
 
 __all__ = [
+    "RetryPolicy",
+    "RetryStats",
     "CHUNKS_PER_JOB",
     "DEFAULT_SHARDS",
     "default_num_shards",
@@ -46,5 +54,7 @@ __all__ = [
     "list_embeddings_parallel",
     "per_root_counts_parallel",
     "pool_unavailable_reason",
+    "reset_retry_stats",
+    "retry_stats",
     "run_shards",
 ]

@@ -46,6 +46,7 @@ __all__ = [
     "SanitizerError",
     "Trace",
     "TraceEvent",
+    "add_probe_hook",
     "capture",
     "compare_traces",
     "emit",
@@ -53,6 +54,7 @@ __all__ = [
     "env_enabled",
     "is_active",
     "payload_digest",
+    "remove_probe_hook",
 ]
 
 _ENV_VAR = "REPRO_SANITIZE"
@@ -60,6 +62,12 @@ _ENV_VAR = "REPRO_SANITIZE"
 #: Fast-path flag: probes check this before paying for a digest.
 _ACTIVE = False
 _EVENTS: list["TraceEvent"] | None = None
+
+#: Probe-hook bus: listeners that observe every probe firing (kind,
+#: label) without a capture being armed.  The fault-injection framework
+#: (:mod:`repro.resilience.faults`) rides this bus to count seam
+#: traffic while a fault plan is installed.
+_PROBE_HOOKS: list[Any] = []
 
 _NO_PAYLOAD = object()
 
@@ -111,8 +119,27 @@ def env_enabled() -> bool:
 
 
 def is_active() -> bool:
-    """Whether a :func:`capture` is currently recording (probe guard)."""
-    return _ACTIVE
+    """Whether probes should fire: a :func:`capture` is recording, or a
+    probe hook (e.g. an installed fault plan) is listening."""
+    return _ACTIVE or bool(_PROBE_HOOKS)
+
+
+def add_probe_hook(hook: Any) -> None:
+    """Subscribe ``hook(kind, label)`` to every probe firing.
+
+    Hooks fire outside captures too (they arm :func:`is_active`), and
+    must be cheap, deterministic, and free of probe calls themselves.
+    """
+    if hook not in _PROBE_HOOKS:
+        _PROBE_HOOKS.append(hook)
+
+
+def remove_probe_hook(hook: Any) -> None:
+    """Unsubscribe a hook; unknown hooks are ignored."""
+    try:
+        _PROBE_HOOKS.remove(hook)
+    except ValueError:
+        pass
 
 
 def payload_digest(payload: Any) -> str:
@@ -155,7 +182,13 @@ def _feed(h: "hashlib._Hash", payload: Any) -> None:
 
 
 def emit(kind: str, label: str, payload: Any = _NO_PAYLOAD) -> None:
-    """Record one probe event (no-op unless a capture is active)."""
+    """Record one probe event (and notify probe hooks).
+
+    Trace recording still requires an armed :func:`capture`; hooks see
+    every firing regardless.
+    """
+    for hook in _PROBE_HOOKS:
+        hook(kind, label)
     if not _ACTIVE or _EVENTS is None:
         return
     digest = "" if payload is _NO_PAYLOAD else payload_digest(payload)

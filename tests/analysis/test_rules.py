@@ -427,6 +427,77 @@ def test_hyg002_bare_except():
 
 
 # ----------------------------------------------------------------------
+# ERR001 — broad exception swallows on worker/hot paths
+# ----------------------------------------------------------------------
+
+_SWALLOW = (
+    "def safe(fn):\n"
+    "    try:\n"
+    "        return fn()\n"
+    "    except Exception:\n"
+    "        pass\n"
+)
+
+
+def test_err001_broad_swallow_on_hot_path():
+    assert rules_fired(_SWALLOW) == ["ERR001"]
+
+
+def test_err001_applies_to_resilience_scope_packages():
+    for module in ("repro.cache", "repro.experiments.executor",
+                   "repro.resilience.faults"):
+        assert rules_fired(_SWALLOW, module=module) == ["ERR001"]
+
+
+def test_err001_not_applied_outside_scope():
+    assert rules_fired(_SWALLOW, module="repro.graph.io") == []
+
+
+def test_err001_bare_except_swallow():
+    src = _SWALLOW.replace("except Exception:", "except:")
+    # ERR001 (error, hot path) rides alongside the generic HYG002
+    # warning: the swallow is the defect, the bare clause the smell.
+    assert rules_fired(src) == ["ERR001", "HYG002"]
+
+
+def test_err001_broad_tuple_element_fires():
+    src = _SWALLOW.replace(
+        "except Exception:", "except (KeyError, BaseException):"
+    )
+    assert rules_fired(src) == ["ERR001"]
+
+
+def test_err001_continue_and_docstring_bodies_are_swallows():
+    src = (
+        "def drain(items):\n"
+        "    for item in items:\n"
+        "        try:\n"
+        "            item()\n"
+        "        except Exception:\n"
+        "            'tolerated'\n"
+        "            continue\n"
+    )
+    assert rules_fired(src) == ["ERR001"]
+
+
+def test_err001_handler_that_acts_is_clean():
+    src = (
+        "def safe(fn, log):\n"
+        "    try:\n"
+        "        return fn()\n"
+        "    except Exception as exc:\n"
+        "        log(exc)\n"
+        "        return None\n"
+    )
+    assert rules_fired(src) == []
+
+
+def test_err001_narrow_swallow_is_clean():
+    src = _SWALLOW.replace("except Exception:", "except (OSError, KeyError):")
+    assert rules_fired(src) == []
+
+
+# ----------------------------------------------------------------------
 # engine mechanics
 # ----------------------------------------------------------------------
 
