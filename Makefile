@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: install test bench bench-fast bench-kernels bench-sweep examples clean loc lint lint-flow chaos check
+.PHONY: install test bench bench-fast bench-kernels bench-sweep bench-engine examples clean loc lint lint-flow chaos check
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -30,6 +30,14 @@ bench-kernels:
 bench-sweep:
 	$(PYTHON) -m repro exp run examples/sweeps/smoke.toml
 	$(PYTHON) -m repro exp report smoke
+
+# Engine comparison: frontier vs recursive vs legacy on the dense
+# benchmark graph; rows land in the store under run "engine-frontier"
+# and the report's policy-speedup table shows the ratios
+# (docs/KERNELS.md, "Frontier engine").
+bench-engine:
+	$(PYTHON) -m repro exp run examples/sweeps/engine_frontier.toml
+	$(PYTHON) -m repro exp report engine-frontier
 
 examples:
 	$(PYTHON) examples/quickstart.py

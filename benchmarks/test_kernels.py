@@ -44,7 +44,16 @@ SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
 
 #: Legacy configuration: the exact execution shape of the engine before
 #: the kernel layer existed (sort-based merges, per-child recursion).
-LEGACY = KernelPolicy(force_kernel="merge", batch_penultimate=False)
+#: ``engine="recursive"`` pins the pre-frontier execution model now that
+#: the default policy runs the frontier engine.
+LEGACY = KernelPolicy(
+    force_kernel="merge", batch_penultimate=False, engine="recursive"
+)
+
+#: Adaptive configuration: hub bitmaps + penultimate batch counting on
+#: the recursive engine — what this file's end-to-end speedup measures
+#: (the frontier engine has its own benchmark, ``test_engine.py``).
+ADAPTIVE = KernelPolicy(engine="recursive")
 
 _INTERSECT_KERNELS = {
     "merge": merge_intersect,
@@ -154,7 +163,8 @@ def test_e2e_count_speedup(benchmark, results_dir, pattern):
 
     legacy_count, legacy_seconds = _time_count(graph, plan, LEGACY)
     adaptive_count = benchmark.pedantic(
-        count_embeddings, args=(graph, plan), rounds=3, iterations=1,
+        count_embeddings, args=(graph, plan),
+        kwargs={"kernels": ADAPTIVE}, rounds=3, iterations=1,
         warmup_rounds=1,
     )
     adaptive_seconds = float(benchmark.stats["min"])

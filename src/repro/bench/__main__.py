@@ -61,8 +61,12 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro.bench")
     parser.add_argument(
         "--out", nargs="?", const="", metavar="DIR",
-        help="write one .txt per experiment; bare --out targets the "
-             "canonical results dir (repro.bench.paths.results_dir)",
+        help="[deprecated] write one .txt per experiment; bare --out "
+             "targets the canonical results dir (repro.bench.paths."
+             "results_dir).  New artifacts go through the result store "
+             "and report generator instead ('repro exp run/report', "
+             "docs/BENCHMARKS.md); this text path will be removed once "
+             "the remaining figure goldens migrate.",
     )
     parser.add_argument(
         "--only", nargs="+", choices=sorted(ALL_EXPERIMENTS),
@@ -99,6 +103,12 @@ def main(argv=None) -> int:
 
         out_dir = pathlib.Path(args.out) if args.out else results_dir()
         out_dir.mkdir(parents=True, exist_ok=True)
+        print(
+            "note: --out .txt artifacts are deprecated; sweeps store "
+            "rows via 'repro exp run' and render via 'repro exp report' "
+            "(docs/BENCHMARKS.md)",
+            file=sys.stderr,
+        )
 
     for name in names:
         start = time.time()

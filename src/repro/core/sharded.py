@@ -43,6 +43,7 @@ from repro.resilience.retry import RetryStats
 
 __all__ = [
     "count_embeddings_parallel",
+    "count_multi_parallel",
     "list_embeddings_parallel",
     "per_root_counts_parallel",
     "resolve_shards",
@@ -141,7 +142,12 @@ def _count_worker(
     from repro.mining import engine
 
     return list(
-        engine.per_root_counts(payload["graph"], payload["plan"], roots=chunk)
+        engine.per_root_counts(
+            payload["graph"],
+            payload["plan"],
+            roots=chunk,
+            kernels=payload["kernels"],
+        )
     )
 
 
@@ -151,7 +157,24 @@ def _list_worker(
     from repro.mining import engine
 
     return engine.list_embeddings(
-        payload["graph"], payload["plan"], roots=chunk, limit=payload["limit"]
+        payload["graph"],
+        payload["plan"],
+        roots=chunk,
+        limit=payload["limit"],
+        kernels=payload["kernels"],
+    )
+
+
+def _multi_count_worker(
+    payload: dict[str, Any], chunk: list[int]
+) -> dict[str, int]:
+    from repro.mining import engine
+
+    return engine.count_multi(
+        payload["graph"],
+        payload["multi"],
+        roots=chunk,
+        kernels=payload["kernels"],
     )
 
 
@@ -168,11 +191,15 @@ def per_root_counts_parallel(
     plan: ExecutionPlan,
     roots: Iterable[int] | None,
     jobs: int,
+    *,
+    kernels=None,
 ) -> list[tuple[int, int]]:
     """``(root, count)`` pairs in serial root order, computed on ``jobs``
-    worker processes."""
+    worker processes.  The kernel policy is forwarded to every worker, so
+    each chunk runs the same engine (a frontier worker batches its whole
+    contiguous chunk through one frontier)."""
     chunks = _chunked(graph, roots, jobs)
-    payload = {"graph": graph, "plan": plan}
+    payload = {"graph": graph, "plan": plan, "kernels": kernels}
     parts = run_shards(_count_worker, payload, chunks, jobs)
     return [pair for part in parts for pair in part]
 
@@ -182,11 +209,40 @@ def count_embeddings_parallel(
     plan: ExecutionPlan,
     roots: Iterable[int] | None,
     jobs: int,
+    *,
+    kernels=None,
 ) -> int:
     """Total embedding count, sharded over ``jobs`` worker processes."""
     return sum(
-        count for _, count in per_root_counts_parallel(graph, plan, roots, jobs)
+        count
+        for _, count in per_root_counts_parallel(
+            graph, plan, roots, jobs, kernels=kernels
+        )
     )
+
+
+def count_multi_parallel(
+    graph: CSRGraph,
+    multi,
+    roots: Iterable[int] | None,
+    jobs: int,
+    *,
+    kernels=None,
+) -> dict[str, int]:
+    """Multi-pattern totals sharded over ``jobs`` worker processes.
+
+    Each worker runs the shared level-0 trunk path on its chunk; the
+    per-pattern totals merge by addition, so the result is bit-identical
+    to the serial shared-trunk pass.
+    """
+    chunks = _chunked(graph, roots, jobs)
+    payload = {"graph": graph, "multi": multi, "kernels": kernels}
+    parts = run_shards(_multi_count_worker, payload, chunks, jobs)
+    totals = {name: 0 for name in multi.names}
+    for part in parts:
+        for name, count in part.items():
+            totals[name] += count
+    return totals
 
 
 def list_embeddings_parallel(
@@ -195,6 +251,8 @@ def list_embeddings_parallel(
     roots: Iterable[int] | None,
     limit: int | None,
     jobs: int,
+    *,
+    kernels=None,
 ) -> list[tuple[int, ...]]:
     """Embeddings in serial order; ``limit`` truncates after the merge.
 
@@ -203,7 +261,7 @@ def list_embeddings_parallel(
     enumerate unboundedly just to be truncated at the end.
     """
     chunks = _chunked(graph, roots, jobs)
-    payload = {"graph": graph, "plan": plan, "limit": limit}
+    payload = {"graph": graph, "plan": plan, "limit": limit, "kernels": kernels}
     parts = run_shards(_list_worker, payload, chunks, jobs)
     out = [emb for part in parts for emb in part]
     if limit is not None:

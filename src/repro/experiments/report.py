@@ -105,6 +105,45 @@ def _speedup_rows(rows: Sequence[ResultRow]) -> list[list[str]]:
     return body
 
 
+def _policy_speedup_rows(rows: Sequence[ResultRow]) -> list[list[str]]:
+    """Wall-clock speedups of every non-baseline policy against the
+    baseline *policy* of the same (pattern, graph, backend, jobs,
+    schedule) cell — the engine-comparison view (``make bench-engine``).
+
+    The baseline policy is ``recursive`` when the run swept one (the
+    engine sweeps name their oracle cell that), else ``legacy``, else
+    ``default``.  Empty when the run swept a single policy, so classic
+    single-policy reports are unchanged.
+    """
+    by_policy: dict[str, dict[tuple, ResultRow]] = {}
+    for r in rows:
+        key = (r.pattern, r.graph, r.backend, r.jobs, r.schedule)
+        by_policy.setdefault(r.policy, {})[key] = r
+    if len(by_policy) < 2:
+        return []
+    base_name = next(
+        (n for n in ("recursive", "legacy", "default") if n in by_policy),
+        None,
+    )
+    if base_name is None:
+        return []
+    baseline = by_policy[base_name]
+    body = []
+    for row in rows:
+        if row.policy == base_name:
+            continue
+        ref = baseline.get((row.pattern, row.graph, row.backend, row.jobs,
+                            row.schedule))
+        if ref is None or ref.wall_time_s <= 0 or row.wall_time_s <= 0:
+            continue
+        body.append([
+            _cell_name(row), base_name, _fmt(ref.wall_time_s),
+            _fmt(row.wall_time_s),
+            f"{ref.wall_time_s / row.wall_time_s:.2f}",
+        ])
+    return body
+
+
 def _cycle_speedup_rows(rows: Sequence[ResultRow]) -> list[list[str]]:
     def pick(backend):
         return {
@@ -154,6 +193,8 @@ def _failure_rows(failures: Sequence[ResultRow]) -> list[list[str]]:
 
 
 _SPEEDUP_HEADER = ["cell", "functional wall s", "wall s", "speedup"]
+_POLICY_SPEEDUP_HEADER = ["cell", "baseline policy", "baseline wall s",
+                          "wall s", "speedup"]
 _FAILURE_HEADER = ["cell", "error", "message", "attempt", "timestamp"]
 _CYCLES_HEADER = ["pattern/graph", "fingers cycles", "flexminer cycles",
                   "speedup"]
@@ -191,6 +232,12 @@ def render_markdown(rows: Iterable[ResultRow], *, run: str) -> str:
         parts += [
             "## Wall-clock speedup vs functional/default", "",
             _md_table(_SPEEDUP_HEADER, speedups), "",
+        ]
+    policy_speedups = _policy_speedup_rows(rows)
+    if policy_speedups:
+        parts += [
+            "## Wall-clock speedup vs baseline policy", "",
+            _md_table(_POLICY_SPEEDUP_HEADER, policy_speedups), "",
         ]
     cycles = _cycle_speedup_rows(rows)
     if cycles:
@@ -242,6 +289,12 @@ def render_html(rows: Iterable[ResultRow], *, run: str) -> str:
         sections += [
             "<h2>Wall-clock speedup vs functional/default</h2>",
             _html_table(_SPEEDUP_HEADER, speedups),
+        ]
+    policy_speedups = _policy_speedup_rows(rows)
+    if policy_speedups:
+        sections += [
+            "<h2>Wall-clock speedup vs baseline policy</h2>",
+            _html_table(_POLICY_SPEEDUP_HEADER, policy_speedups),
         ]
     cycles = _cycle_speedup_rows(rows)
     if cycles:

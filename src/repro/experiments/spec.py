@@ -36,7 +36,7 @@ from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 from repro.core.workload import resolve_workload
-from repro.graph.datasets import dataset_names
+from repro.graph.datasets import bench_graph_names, dataset_names
 from repro.setops.kernels import KernelPolicy
 
 __all__ = ["Cell", "SpecError", "SweepSpec", "load_spec", "load_spec_file"]
@@ -220,7 +220,9 @@ def load_spec(
         except (KeyError, ValueError) as exc:
             problems.append(f"pattern {pattern!r}: {exc}")
     graph_catalog = tuple(
-        available_graphs if available_graphs is not None else dataset_names()
+        available_graphs
+        if available_graphs is not None
+        else dataset_names() + bench_graph_names()
     )
     _check_names(
         problems, "graph", graphs, graph_catalog,

@@ -93,7 +93,13 @@ class CSRGraph:
     from edge lists or adjacency dicts.
     """
 
-    __slots__ = ("_indptr", "_indices", "_hub_cache")
+    __slots__ = (
+        "_indptr",
+        "_indices",
+        "_hub_cache",
+        "_edge_key_cache",
+        "_adj_bitmap_cache",
+    )
 
     def __init__(
         self,
@@ -113,6 +119,8 @@ class CSRGraph:
         #: Memoized hub indexes keyed by sizing parameters (derived data
         #: only — the graph itself stays immutable).
         self._hub_cache: dict[tuple[int, int, int], HubBitmapIndex] = {}
+        self._edge_key_cache: np.ndarray | None = None
+        self._adj_bitmap_cache: np.ndarray | None = None
 
     @staticmethod
     def _validate(indptr: np.ndarray, indices: np.ndarray) -> None:
@@ -263,6 +271,60 @@ class CSRGraph:
         return index
 
     # ------------------------------------------------------------------
+    # Segmented-kernel membership tables (repro.setops.segmented)
+    # ------------------------------------------------------------------
+
+    def edge_keys(self) -> np.ndarray:
+        """Sorted int64 edge keys ``u * |V| + v`` for every directed edge.
+
+        Because the CSR rows are stored in vertex order with sorted
+        neighbor lists, the concatenation is already globally sorted —
+        building the table is one vectorized multiply-add.  Batched edge
+        membership is then a single ``searchsorted`` per query array
+        (the ``"edgekey"`` kernel of :mod:`repro.setops.segmented`).
+        Memoized per graph; ~8 bytes per directed edge.
+        """
+        cached = self._edge_key_cache
+        if cached is None:
+            n = self.num_vertices
+            vertex_of = np.repeat(
+                np.arange(n, dtype=np.int64), np.diff(self._indptr)
+            )
+            cached = vertex_of * n + self._indices
+            cached.setflags(write=False)
+            self._edge_key_cache = cached
+        return cached
+
+    def adjacency_bitmap(self) -> np.ndarray:
+        """Packed adjacency matrix: row ``v`` is ``N(v)`` as uint64 bits.
+
+        ``ceil(|V| / 64) * 8`` bytes per vertex — callers must gate on
+        :meth:`adjacency_bitmap_bytes` before building (the segmented
+        dispatch does).  Memoized per graph; read-only.
+        """
+        cached = self._adj_bitmap_cache
+        if cached is None:
+            n = self.num_vertices
+            words_per_row = (n + 63) // 64
+            flat = np.zeros(n * words_per_row, dtype=np.uint64)
+            if self._indices.size:
+                vertex_of = np.repeat(
+                    np.arange(n, dtype=np.int64), np.diff(self._indptr)
+                )
+                word = vertex_of * words_per_row + (self._indices >> 6)
+                bit = np.uint64(1) << (self._indices & 63).astype(np.uint64)
+                np.bitwise_or.at(flat, word, bit)
+            cached = flat.reshape(n, words_per_row)
+            cached.setflags(write=False)
+            self._adj_bitmap_cache = cached
+        return cached
+
+    def adjacency_bitmap_bytes(self) -> int:
+        """Storage the dense adjacency bitmap would need, in bytes."""
+        n = self.num_vertices
+        return n * ((n + 63) // 64) * 8
+
+    # ------------------------------------------------------------------
     # Memory-footprint helpers used by the hardware cache models
     # ------------------------------------------------------------------
 
@@ -290,6 +352,8 @@ class CSRGraph:
         self._indptr = indptr
         self._indices = indices
         self._hub_cache = {}
+        self._edge_key_cache = None
+        self._adj_bitmap_cache = None
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, CSRGraph):

@@ -44,6 +44,7 @@ from repro.graph.csr import CSRGraph
 
 __all__ = [
     "DatasetSpec", "DATASET_SPECS", "dataset_names", "load_dataset", "CACHE_SCALE",
+    "bench_graph_names",
 ]
 
 #: All byte capacities taken from the paper (4 MB shared cache, 2-16 MB
@@ -145,6 +146,19 @@ def _build_or() -> CSRGraph:
     )
 
 
+def _build_er120() -> CSRGraph:
+    # The dense benchmark graph of ``benchmarks/test_kernels.py`` /
+    # ``test_engine.py``: small enough to count in milliseconds, dense
+    # enough that clique plans produce deep frontiers.
+    return generators.erdos_renyi(120, p=0.7, seed=11)
+
+
+def _build_er300() -> CSRGraph:
+    # A sparser, larger benchmark point: enough roots that the frontier
+    # engine's breadth batching dominates the per-root Python overhead.
+    return generators.erdos_renyi(300, p=0.15, seed=13)
+
+
 _BUILDERS = {
     "As": _build_as,
     "Mi": _build_mi,
@@ -152,7 +166,14 @@ _BUILDERS = {
     "Pa": _build_pa,
     "Lj": _build_lj,
     "Or": _build_or,
+    "er120": _build_er120,
+    "er300": _build_er300,
 }
+
+#: Synthetic benchmark-only graphs, loadable through :func:`load_dataset`
+#: and valid in sweep specs, but *not* part of the paper's Table 1 set
+#: (so excluded from :func:`dataset_names`).
+BENCH_GRAPHS = ("er120", "er300")
 
 DATASET_SPECS: dict[str, DatasetSpec] = {
     "As": DatasetSpec(
@@ -185,6 +206,13 @@ DATASET_SPECS: dict[str, DatasetSpec] = {
 def dataset_names() -> list[str]:
     """The six analog keys in the paper's Table 1 order."""
     return ["As", "Mi", "Yo", "Pa", "Lj", "Or"]
+
+
+def bench_graph_names() -> list[str]:
+    """Benchmark-only graph keys (:data:`BENCH_GRAPHS`) — loadable via
+    :func:`load_dataset` and usable as sweep-spec graphs alongside the
+    Table 1 analogs."""
+    return list(BENCH_GRAPHS)
 
 
 @lru_cache(maxsize=None)

@@ -84,7 +84,8 @@ def motif_census(
     """Counts of every connected ``k``-vertex motif (the paper's k-motif job).
 
     For ``k = 3`` this is the ``3mc`` benchmark: triangles plus wedges.
-    ``jobs`` is forwarded to every per-pattern count.
+    Plans share level-0 work through the merged-trunk pass of
+    :func:`repro.mining.engine.count_multi`; ``jobs`` shards the roots.
     """
     patterns, names = motif_patterns(k)
     multi = compile_multi_plan(patterns, names=names, vertex_induced=vertex_induced)

@@ -1,13 +1,25 @@
-"""Recursive plan executor — the functional reference for all simulators.
+"""Plan executors — the functional reference for all simulators.
 
-Follows paper Figure 2 exactly: nested loops over candidate sets, with the
-set-operation schedules materialized incrementally and reused across the
-subtree.  Counting jobs never enumerate the last level; the final
-candidate-set length is added directly (the standard pattern-aware
-optimization, also what the accelerators do).
+Counting runs on one of two execution models, selected by
+``KernelPolicy(engine=...)`` (docs/KERNELS.md, "Frontier engine"):
 
-Two performance layers sit on top of the plain recursion, neither of
-which changes any count (docs/KERNELS.md):
+``"frontier"`` (default)
+    Breadth-batched: every level's partial embeddings are materialized
+    as one struct-of-arrays frontier and the level's schedule runs as
+    segmented batch set ops (:mod:`repro.mining.frontier`).  Memory is
+    bounded by the policy's spill budget.
+``"recursive"``
+    The oracle path, following paper Figure 2 exactly: nested loops over
+    candidate sets, with the set-operation schedules materialized
+    incrementally and reused across the subtree.
+
+Both engines count identically — the agreement suite drives all 11
+patterns × both semantics × every policy against each other.  Listing
+jobs always use the recursive enumerator (they materialize every
+embedding regardless, so breadth batching buys nothing).
+
+Two performance layers sit inside the recursive model, neither of which
+changes any count (docs/KERNELS.md):
 
 * every set op dispatches through the size-adaptive kernel layer
   (:class:`repro.setops.kernels.KernelContext`) — merge, gallop, or
@@ -23,14 +35,20 @@ which changes any count (docs/KERNELS.md):
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.mining.frontier import FrontierEngine
 from repro.pattern.multipattern import MultiPlan
-from repro.pattern.plan import ExecutionPlan, OpKind
-from repro.setops.kernels import KernelContext, KernelPolicy, _tally
+from repro.pattern.plan import ExecutionPlan, LevelChain, OpKind, SetOp
+from repro.setops.kernels import (
+    DEFAULT_POLICY,
+    KernelContext,
+    KernelPolicy,
+    _tally,
+)
 from repro.setops.merge import exclude_values, lower_bound_filter
 
 __all__ = [
@@ -102,31 +120,28 @@ class _PenultimateBatcher:
       ``searchsorted`` over all children — minus the matching slice
       probes.
 
-    The batcher is built once per run (``None`` when the plan's
-    penultimate schedule is not a linear chain with exactly one
-    child-dependent op — then the engine falls back to recursion), and
-    produces exactly the counts the recursion produces.
+    Eligibility is the plan compiler's chain analysis
+    (:meth:`repro.pattern.plan.ExecutionPlan.chain_info`): ``build``
+    returns ``None`` unless the penultimate schedule is a linear chain
+    with exactly one child-dependent op, and the engine then falls back
+    to recursion.  The batcher produces exactly the counts the recursion
+    produces.
     """
 
     def __init__(
-        self, graph: CSRGraph, plan: ExecutionPlan, ctx: KernelContext
+        self,
+        graph: CSRGraph,
+        plan: ExecutionPlan,
+        ctx: KernelContext,
+        chain: LevelChain,
     ) -> None:
         self.graph = graph
         self.plan = plan
         self.ctx = ctx
         k = plan.num_levels
-        sched = plan.levels[k - 2]
-        self.ops = sched.ops
-        self.v_idx: int | None = None
-        for i, op in enumerate(self.ops):
-            if op.operand_level == k - 2:
-                self.v_idx = i if self.v_idx is None else -1
-        self.mode = {
-            OpKind.INIT_COPY: "copy",
-            OpKind.INTERSECT: "intersect",
-            OpKind.SUBTRACT: "subtract",
-            OpKind.ANTI_SUBTRACT: "subtract",
-        }[self.ops[self.v_idx].kind] if self.v_idx not in (None, -1) else ""
+        self.ops = plan.levels[k - 2].ops
+        self.v_idx = chain.child_op_index
+        self.mode = chain.mode
         bounds = plan.lower_bound_levels(k - 1)
         self.fixed_bounds = tuple(b for b in bounds if b < k - 2)
         self.self_bound = (k - 2) in bounds
@@ -140,23 +155,10 @@ class _PenultimateBatcher:
     ) -> "_PenultimateBatcher | None":
         if not ctx.policy.batch_penultimate or plan.num_levels < 3:
             return None
-        sched = plan.levels[plan.num_levels - 2]
-        ops = sched.ops
-        if not ops or sched.extend_state != ops[-1].result_state:
+        chain = plan.chain_info(plan.num_levels - 2)
+        if not chain.batchable:
             return None
-        produced = {op.result_state for op in ops}
-        for i, op in enumerate(ops):
-            if i == 0:
-                if op.source_state is not None and op.source_state in produced:
-                    return None
-            elif op.source_state != ops[i - 1].result_state:
-                return None
-        batcher = _PenultimateBatcher(graph, plan, ctx)
-        if batcher.v_idx in (None, -1):
-            return None
-        if batcher.mode == "copy" and batcher.v_idx != 0:
-            return None
-        return batcher
+        return _PenultimateBatcher(graph, plan, ctx, chain)
 
     def count(
         self,
@@ -170,7 +172,6 @@ class _PenultimateBatcher:
         _tally("batch/invocations")
         _tally("batch/children", int(cand.size))
         graph = self.graph
-        k2 = self.plan.num_levels - 2
 
         # Hoist the child-independent ops: run the chain once with the
         # N(v) op replaced by a pass-through (legal because fixed-operand
@@ -290,6 +291,84 @@ class _PenultimateBatcher:
         return first - removed
 
 
+class _RecursiveRunner:
+    """The per-embedding oracle executor, reusable across roots.
+
+    One instance holds the kernel context, the penultimate batcher, and
+    the mutable embedding/state scratch, so multi-pattern counting can
+    drive many roots (and inject precomputed level-0 trunk states)
+    without re-running eligibility analysis per root.
+    """
+
+    def __init__(
+        self, graph: CSRGraph, plan: ExecutionPlan, ctx: KernelContext
+    ) -> None:
+        self.graph = graph
+        self.plan = plan
+        self.ctx = ctx
+        self.k = plan.num_levels
+        self.batcher = _PenultimateBatcher.build(graph, plan, ctx)
+        self.states: dict[int, np.ndarray] = {}
+        self.embedding: list[int] = []
+        self._preset: Mapping[int, np.ndarray] | None = None
+
+    def count_root(
+        self,
+        root: int,
+        preset: Mapping[int, np.ndarray] | None = None,
+    ) -> int:
+        """Embedding count of one search tree.
+
+        ``preset`` maps level-0 result-state ids to already-computed
+        values for this root (the multi-pattern shared trunk); matching
+        level-0 ops are skipped instead of re-executed.
+        """
+        if self.k == 1:
+            return 1
+        self._preset = preset
+        self.embedding.append(int(root))
+        try:
+            return self._explore(0)
+        finally:
+            self.embedding.pop()
+            self._preset = None
+
+    def _explore(self, level: int) -> int:
+        # ``u_level`` was just appended to ``embedding``; run the level's
+        # schedule and extend (or count) the next level.
+        plan = self.plan
+        states = self.states
+        embedding = self.embedding
+        sched = plan.levels[level]
+        preset = self._preset if level == 0 else None
+        for op in sched.ops:
+            if preset is not None and op.result_state in preset:
+                states[op.result_state] = preset[op.result_state]
+                continue
+            vertex = embedding[op.operand_level]
+            operand = self.graph.neighbors(vertex)
+            source = (
+                states[op.source_state] if op.source_state is not None else None
+            )
+            states[op.result_state] = self.ctx.apply_op(
+                op.kind, source, operand, vertex=vertex
+            )
+        nxt = level + 1
+        cand = filtered_candidates(
+            plan, nxt, states[sched.extend_state], embedding
+        )
+        if nxt == self.k - 1:
+            return int(cand.size)
+        if nxt == self.k - 2 and self.batcher is not None:
+            return self.batcher.count(cand, embedding, states)
+        subtotal = 0
+        for v in cand:
+            embedding.append(int(v))
+            subtotal += self._explore(nxt)
+            embedding.pop()
+        return subtotal
+
+
 def count_embeddings(
     graph: CSRGraph,
     plan: ExecutionPlan,
@@ -311,9 +390,9 @@ def count_embeddings(
     (``repro.parallel``); the total is identical for every value since
     per-root counts merge by addition.
 
-    ``kernels`` tunes the set-operation dispatch layer for this run
-    (docs/KERNELS.md); every policy returns the identical count.  With
-    ``jobs`` the workers use the default policy.
+    ``kernels`` selects the execution engine and tunes the set-operation
+    dispatch layer for this run (docs/KERNELS.md); every policy returns
+    the identical count.  The policy is forwarded to sharded workers.
     """
     total = 0
     for root, sub in per_root_counts(
@@ -334,56 +413,37 @@ def per_root_counts(
     """Yield ``(root, count)`` per search tree — the unit of coarse-grained
     parallelism the accelerators schedule across PEs.
 
-    With ``jobs`` the pairs are computed on worker processes but yielded
-    in the same serial root order (contiguous chunks, concatenated).
+    The frontier engine (the default policy) batches the whole root list
+    through one breadth-first frontier and yields the per-root vector;
+    ``KernelPolicy(engine="recursive")`` walks one root at a time.  Both
+    yield identical pairs in identical order.
+
+    With ``jobs`` the pairs are computed on worker processes — each
+    worker batches its whole contiguous root chunk through one frontier
+    — and yielded in the same serial root order.
     """
     if jobs is not None and jobs > 1:
         from repro.core.sharded import per_root_counts_parallel
 
-        yield from per_root_counts_parallel(graph, plan, roots, jobs)
+        yield from per_root_counts_parallel(
+            graph, plan, roots, jobs, kernels=kernels
+        )
         return
     k = plan.num_levels
     if k == 1:
         for root in _iter_roots(graph, roots):
-            yield root, 1
+            yield int(root), 1
         return
-    ctx = KernelContext(graph, kernels)
-    batcher = _PenultimateBatcher.build(graph, plan, ctx)
-    states: dict[int, np.ndarray] = {}
-    embedding: list[int] = []
-
-    def explore(level: int) -> int:
-        # ``u_level`` was just appended to ``embedding``; run the level's
-        # schedule and extend (or count) the next level.
-        sched = plan.levels[level]
-        for op in sched.ops:
-            vertex = embedding[op.operand_level]
-            operand = graph.neighbors(vertex)
-            source = (
-                states[op.source_state] if op.source_state is not None else None
-            )
-            states[op.result_state] = ctx.apply_op(
-                op.kind, source, operand, vertex=vertex
-            )
-        nxt = level + 1
-        cand = filtered_candidates(
-            plan, nxt, states[sched.extend_state], embedding
-        )
-        if nxt == k - 1:
-            return int(cand.size)
-        if nxt == k - 2 and batcher is not None:
-            return batcher.count(cand, embedding, states)
-        subtotal = 0
-        for v in cand:
-            embedding.append(int(v))
-            subtotal += explore(nxt)
-            embedding.pop()
-        return subtotal
-
-    for root in _iter_roots(graph, roots):
-        embedding.append(int(root))
-        yield int(root), explore(0)
-        embedding.pop()
+    policy = kernels if kernels is not None else DEFAULT_POLICY
+    root_list = [int(r) for r in _iter_roots(graph, roots)]
+    if policy.engine == "frontier":
+        counts = FrontierEngine(graph, plan, policy).per_root_counts(root_list)
+        for root, count in zip(root_list, counts):
+            yield root, int(count)
+        return
+    runner = _RecursiveRunner(graph, plan, KernelContext(graph, kernels))
+    for root in root_list:
+        yield root, runner.count_root(root)
 
 
 def list_embeddings(
@@ -404,13 +464,16 @@ def list_embeddings(
     contiguous in root order, so the merged list (and ``limit``
     truncation applied after the merge) equals the serial list exactly.
 
-    Listing materializes every embedding, so the penultimate batch
-    counter does not apply; the adaptive kernels still do.
+    Listing materializes every embedding, so both the frontier engine
+    and the penultimate batch counter stand aside — enumeration always
+    recurses; the adaptive kernels still apply.
     """
     if jobs is not None and jobs > 1:
         from repro.core.sharded import list_embeddings_parallel
 
-        return list_embeddings_parallel(graph, plan, roots, limit, jobs)
+        return list_embeddings_parallel(
+            graph, plan, roots, limit, jobs, kernels=kernels
+        )
     k = plan.num_levels
     out: list[tuple[int, ...]] = []
     if k == 1:
@@ -461,6 +524,23 @@ def list_embeddings(
     return out
 
 
+def _shared_level0_ops(plans: Sequence[ExecutionPlan]) -> list[SetOp]:
+    """The deduplicated level-0 trunk of a multi-plan, in dependency
+    order: each unified result state's op appears once, the first time
+    any plan schedules it (identical state ids have identical op
+    histories, so first-wins is exact)."""
+    seen: set[int] = set()
+    trunk: list[SetOp] = []
+    for plan in plans:
+        if plan.num_levels < 2:
+            continue
+        for op in plan.levels[0].ops:
+            if op.result_state not in seen:
+                seen.add(op.result_state)
+                trunk.append(op)
+    return trunk
+
+
 def count_multi(
     graph: CSRGraph,
     multi: MultiPlan,
@@ -471,14 +551,56 @@ def count_multi(
 ) -> dict[str, int]:
     """Counts for every pattern of a multi-pattern plan in one pass.
 
-    Processes each root once; plans share the root's level-0 states via
-    the unified state namespace (the merged trunk of paper section 4).
-    ``jobs`` and ``kernels`` are forwarded to each per-plan count.
+    Plans share the root's level-0 states via the unified state
+    namespace (the merged trunk of paper section 4):
+    :func:`repro.pattern.multipattern.compile_multi_plan` gives ops with
+    identical histories identical state ids, so each distinct level-0
+    result is computed **once per root** (recursive engine) or **once
+    per root frontier** (frontier engine) and reused by every plan that
+    schedules it.  ``jobs`` shards the roots — each worker runs this
+    shared-trunk path on its chunk; ``kernels`` selects the engine and
+    dispatch policy.  Totals are bit-identical to counting each plan
+    independently.
     """
-    root_list = list(roots) if roots is not None else None
+    if jobs is not None and jobs > 1:
+        from repro.core.sharded import count_multi_parallel
+
+        return count_multi_parallel(graph, multi, roots, jobs, kernels=kernels)
+    root_list = [int(r) for r in _iter_roots(graph, roots)]
+    policy = kernels if kernels is not None else DEFAULT_POLICY
     totals = {name: 0 for name in multi.names}
+    if policy.engine == "frontier":
+        shared: dict[int, object] = {}
+        for name, plan in zip(multi.names, multi.plans):
+            if plan.num_levels == 1:
+                totals[name] += len(root_list)
+                continue
+            engine = FrontierEngine(graph, plan, policy)
+            counts = engine.per_root_counts(root_list, shared_level0=shared)
+            totals[name] += int(counts.sum())
+        return totals
+    ctx = KernelContext(graph, kernels)
+    runners = {
+        name: _RecursiveRunner(graph, plan, ctx)
+        for name, plan in zip(multi.names, multi.plans)
+        if plan.num_levels >= 2
+    }
     for name, plan in zip(multi.names, multi.plans):
-        totals[name] += count_embeddings(
-            graph, plan, roots=root_list, jobs=jobs, kernels=kernels
-        )
+        if plan.num_levels == 1:
+            totals[name] += len(root_list)
+    trunk = _shared_level0_ops(multi.plans)
+    for root in root_list:
+        preset: dict[int, np.ndarray] = {}
+        operand = graph.neighbors(root)
+        for op in trunk:
+            source = (
+                preset[op.source_state]
+                if op.source_state is not None
+                else None
+            )
+            preset[op.result_state] = ctx.apply_op(
+                op.kind, source, operand, vertex=root
+            )
+        for name, runner in runners.items():
+            totals[name] += runner.count_root(root, preset)
     return totals

@@ -1,0 +1,446 @@
+"""Frontier-at-a-time plan executor (the breadth-batched engine).
+
+The recursive reference engine (:mod:`repro.mining.engine`) walks the
+search tree one embedding at a time; every Python-level recursion step
+costs more than the NumPy set op it wraps.  This module executes the
+same :class:`~repro.pattern.plan.ExecutionPlan` IR *breadth-first*: all
+partial embeddings of one level live in a single struct-of-arrays
+**frontier**, and each level's schedule runs as segmented batch set
+operations over the whole frontier at once
+(:mod:`repro.setops.segmented`) — the generalization of the penultimate
+batcher to every interior level, following the GPU extension-strategy
+playbook (DuMato, G2Miner) cited in PAPERS.md.
+
+Frontier layout
+---------------
+A level-``L`` frontier holds one row per partial embedding
+``(u_0 .. u_L)``:
+
+* ``cols`` — ``L + 1`` int32 columns; ``cols[d][r]`` is row ``r``'s
+  level-``d`` vertex;
+* ``root_rows`` — int64 positions into the run's root list (for the
+  per-root count vector; multiple rows share a root);
+* ``states`` — plan state id → ``(SegmentedSet, sel)``.  ``sel`` is a
+  lazy row map: a state produced on an ancestor frontier is *not*
+  re-materialized when the frontier expands — consumers gather through
+  ``sel`` on demand (and the gathered form is memoized).  This keeps an
+  expansion from copying every carried candidate set ``fanout`` times.
+
+Execution
+---------
+Per level: run the schedule's ops segmented, filter the extension set
+with vectorized symmetry-breaking lower bounds and injectivity excludes,
+then either count (last level: per-row lengths; penultimate level of a
+chain-shaped schedule: the fused terminal probe, the batcher's
+hoisted-op trick applied across the whole frontier) or expand to the
+next level.  Expansion and the fused probe are **memory-bounded**: when
+the materialized result would exceed ``KernelPolicy.
+frontier_budget_bytes``, the frontier is processed in contiguous row
+chunks — identical counts for every budget, only peak memory changes
+(docs/KERNELS.md, "Frontier engine").
+
+Everything here is functional-only: counts are bit-identical to the
+recursive oracle for every policy, and dispatch decisions are pure
+functions of sizes/policy so sanitized double runs trace identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, MutableMapping
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.pattern.plan import ExecutionPlan, OpKind
+from repro.setops import segmented as sg
+from repro.setops.kernels import DEFAULT_POLICY, KernelPolicy, _tally
+
+__all__ = ["FrontierEngine", "frontier_per_root_counts"]
+
+#: Working-set estimate per element of a fused terminal probe (value,
+#: owner, row id, membership keys and mask, slack).
+_FLAT_BYTES = 40
+
+
+@dataclass
+class _State:
+    """One carried plan state: the segmented values plus the lazy row
+    map from current frontier rows into ``seg`` rows (``None`` =
+    identity, i.e. produced on this frontier)."""
+
+    seg: sg.SegmentedSet
+    sel: np.ndarray | None
+
+
+def _chunk_ranges(weights: np.ndarray, budget: int) -> list[tuple[int, int]]:
+    """Contiguous index ranges whose weight sums stay near ``budget``.
+
+    Greedy left-to-right cut; every range gets at least one index, so a
+    single over-budget row still executes (its own memory is
+    irreducible).  Pure in (weights, budget) — chunking never reads
+    runtime state, keeping spill decisions deterministic.
+    """
+    n = int(weights.size)
+    if n == 0:
+        return []
+    cum = np.cumsum(weights, dtype=np.int64)
+    if int(cum[-1]) <= budget:
+        return [(0, n)]
+    ranges = []
+    pos = 0
+    base = 0
+    while pos < n:
+        nxt = int(np.searchsorted(cum, base + budget, side="right"))
+        nxt = min(max(nxt, pos + 1), n)
+        ranges.append((pos, nxt))
+        base = int(cum[nxt - 1])
+        pos = nxt
+    return ranges
+
+
+class FrontierEngine:
+    """Breadth-batched counting executor for one (graph, plan, policy).
+
+    Build once, then :meth:`per_root_counts` any number of root lists.
+    Counting only — listing materializes every embedding anyway, so the
+    recursive enumerator keeps that job (docs/KERNELS.md).
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        plan: ExecutionPlan,
+        policy: KernelPolicy | None = None,
+    ) -> None:
+        self.graph = graph
+        self.plan = plan
+        self.policy = policy if policy is not None else DEFAULT_POLICY
+        k = plan.num_levels
+        self.k = k
+        # States consumed strictly after each level — the only ones an
+        # expansion must carry forward.
+        consumed: list[set[int]] = []
+        for sched in plan.levels:
+            used = {
+                op.source_state
+                for op in sched.ops
+                if op.source_state is not None
+            }
+            if sched.extend_state is not None:
+                used.add(sched.extend_state)
+            consumed.append(used)
+        self.carry_after: list[tuple[int, ...]] = []
+        for level in range(len(plan.levels)):
+            later: set[int] = set()
+            for upper in consumed[level + 1 :]:
+                later |= upper
+            self.carry_after.append(tuple(sorted(later)))
+        # Fused terminal level: chain-shaped penultimate schedules count
+        # all grandchildren in one probe pass, like the recursive
+        # engine's batcher (same policy knob).
+        self.terminal = None
+        if k >= 3 and self.policy.batch_penultimate:
+            info = plan.chain_info(k - 2)
+            if info.batchable:
+                self.terminal = info
+
+    # ------------------------------------------------------------------
+
+    def per_root_counts(
+        self,
+        roots: Iterable[int],
+        *,
+        shared_level0: MutableMapping[int, sg.SegmentedSet] | None = None,
+    ) -> np.ndarray:
+        """Embedding count per root, aligned with the given root order.
+
+        ``shared_level0`` is the multi-pattern trunk (paper section 4's
+        merged level-0 states): a mutable mapping of unified state id →
+        level-0 result over *the same root list*.  Ops whose result id
+        is present are reused instead of re-executed; newly computed
+        level-0 results are published into it.
+        """
+        roots_arr = np.asarray(list(roots), dtype=np.int32)
+        counts = np.zeros(roots_arr.size, dtype=np.int64)
+        if roots_arr.size == 0:
+            return counts
+        if self.k == 1:
+            counts[:] = 1
+            return counts
+        self._counts = counts
+        self._shared = shared_level0
+        _tally("frontier/runs")
+        self._advance(
+            [roots_arr],
+            np.arange(roots_arr.size, dtype=np.int64),
+            {},
+            0,
+        )
+        self._shared = None
+        return counts
+
+    # ------------------------------------------------------------------
+
+    def _materialize(
+        self, states: MutableMapping[int, _State], sid: int
+    ) -> sg.SegmentedSet:
+        """A state's values at the current frontier's segmentation
+        (gathered through the lazy row map once, then memoized)."""
+        st = states[sid]
+        if st.sel is None:
+            return st.seg
+        seg = st.seg.take_rows(st.sel)
+        states[sid] = _State(seg, None)
+        return seg
+
+    def _filtered(
+        self,
+        cand: sg.SegmentedSet,
+        nxt: int,
+        cols: list[np.ndarray],
+    ) -> sg.SegmentedSet:
+        """Symmetry-breaking and injectivity filters for level ``nxt``,
+        vectorized over the whole frontier (the segmented analog of
+        :func:`repro.mining.engine.filtered_candidates`)."""
+        lens = cand.lengths
+        keep: np.ndarray | None = None
+        bounds = self.plan.lower_bound_levels(nxt)
+        if bounds:
+            bound = cols[bounds[0]]
+            for b in bounds[1:]:
+                bound = np.maximum(bound, cols[b])
+            keep = cand.values > np.repeat(bound, lens)
+        for d in self.plan.exclude_levels(nxt):
+            mask = cand.values != np.repeat(cols[d], lens)
+            keep = mask if keep is None else keep & mask
+        if keep is None:
+            return cand
+        return sg.compress(cand, keep)
+
+    def _advance(
+        self,
+        cols: list[np.ndarray],
+        root_rows: np.ndarray,
+        states: MutableMapping[int, _State],
+        level: int,
+    ) -> None:
+        graph, plan, policy = self.graph, self.plan, self.policy
+        sched = plan.levels[level]
+        shared = self._shared if level == 0 else None
+        for op in sched.ops:
+            if shared is not None and op.result_state in shared:
+                states[op.result_state] = _State(shared[op.result_state], None)
+                continue
+            verts = cols[op.operand_level]
+            if op.kind is OpKind.INIT_COPY:
+                seg = sg.gather_neighbors(graph, verts)
+            else:
+                src = self._materialize(states, op.source_state)
+                if op.kind is OpKind.INTERSECT:
+                    seg = sg.intersect_neighbors(src, graph, verts, policy)
+                else:
+                    seg = sg.subtract_neighbors(src, graph, verts, policy)
+            states[op.result_state] = _State(seg, None)
+            if shared is not None:
+                shared[op.result_state] = seg
+        nxt = level + 1
+        cand = self._filtered(
+            self._materialize(states, sched.extend_state), nxt, cols
+        )
+        if nxt == self.k - 1:
+            # Last level: candidates are counted, never enumerated.
+            np.add.at(self._counts, root_rows, cand.lengths)
+            return
+        if nxt == self.k - 2 and self.terminal is not None:
+            self._terminal_count(cols, root_rows, states, cand)
+            return
+        self._expand(cols, root_rows, states, cand, level)
+
+    # ------------------------------------------------------------------
+
+    def _expand(
+        self,
+        cols: list[np.ndarray],
+        root_rows: np.ndarray,
+        states: MutableMapping[int, _State],
+        cand: sg.SegmentedSet,
+        level: int,
+    ) -> None:
+        """Extend every row by its surviving candidates, chunked to the
+        spill budget, and advance each chunk to the next level."""
+        lens = cand.lengths
+        if cand.total == 0:
+            return
+        carried = [
+            sid for sid in self.carry_after[level] if sid in states
+        ]
+        bytes_per_row = 4 * (len(cols) + 1) + 8 + 8 * len(carried)
+        chunks = _chunk_ranges(
+            lens * bytes_per_row, self.policy.frontier_budget_bytes
+        )
+        if len(chunks) > 1:
+            _tally("frontier/spill_chunks", len(chunks))
+        for a, b in chunks:
+            part = cand.slice_rows(a, b)
+            if part.total == 0:
+                continue
+            parent = part.row_ids() + a
+            new_cols = [col[parent] for col in cols]
+            new_cols.append(part.values)
+            new_states: dict[int, _State] = {}
+            for sid in carried:
+                st = states[sid]
+                sel = parent if st.sel is None else st.sel[parent]
+                new_states[sid] = _State(st.seg, sel)
+            self._advance(
+                new_cols, root_rows[parent], new_states, level + 1
+            )
+
+    # ------------------------------------------------------------------
+
+    def _terminal_count(
+        self,
+        cols: list[np.ndarray],
+        root_rows: np.ndarray,
+        states: MutableMapping[int, _State],
+        cand: sg.SegmentedSet,
+    ) -> None:
+        """Count all level-``k-1`` candidates of every level-``k-2``
+        child without materializing the child frontier.
+
+        The frontier generalization of the recursive batcher: the
+        chain's fixed (child-independent) ops run segmented over the
+        *parent* rows once, then one flat membership/bounds pass over
+        each child's candidate slice yields the surviving counts.
+        """
+        graph, plan, policy = self.graph, self.plan, self.policy
+        info = self.terminal
+        ops = plan.levels[self.k - 2].ops
+        if cand.total == 0:
+            return
+        _tally("frontier/fused_invocations")
+        _tally("frontier/fused_children", cand.total)
+
+        mask_ops: list[tuple[OpKind, int]] = []
+        s_prime: sg.SegmentedSet | None = None
+        if info.mode == "copy":
+            # Fixed ops downstream of INIT_COPY N(v) become per-element
+            # membership predicates on the child's own neighbor slice.
+            mask_ops = [
+                (op.kind, op.operand_level)
+                for i, op in enumerate(ops)
+                if i != info.child_op_index
+            ]
+        else:
+            # Run the chain once with the child op as a pass-through
+            # (fixed-operand ops commute with the single N(v) op).
+            local: dict[int, sg.SegmentedSet] = {}
+
+            def resolve(sid: int) -> sg.SegmentedSet:
+                got = local.get(sid)
+                if got is not None:
+                    return got
+                return self._materialize(states, sid)
+
+            for i, op in enumerate(ops):
+                if i == info.child_op_index:
+                    if op.source_state is not None:
+                        local[op.result_state] = resolve(op.source_state)
+                    continue
+                src = resolve(op.source_state)
+                verts = cols[op.operand_level]
+                if op.kind is OpKind.INTERSECT:
+                    local[op.result_state] = sg.intersect_neighbors(
+                        src, graph, verts, policy
+                    )
+                else:
+                    local[op.result_state] = sg.subtract_neighbors(
+                        src, graph, verts, policy
+                    )
+            s_prime = local[ops[-1].result_state]
+
+        bounds = plan.lower_bound_levels(self.k - 1)
+        fixed_bounds = [b for b in bounds if b < self.k - 2]
+        self_bound = (self.k - 2) in bounds
+        excludes = plan.exclude_levels(self.k - 1)
+        fixed_excludes = [d for d in excludes if d < self.k - 2]
+        self_exclude = (self.k - 2) in excludes
+        fb: np.ndarray | None = None
+        if fixed_bounds:
+            fb = cols[fixed_bounds[0]]
+            for b in fixed_bounds[1:]:
+                fb = np.maximum(fb, cols[b])
+
+        child_parent = cand.row_ids()
+        if info.mode == "copy":
+            indptr = graph.indptr
+            weights = indptr[cand.values + 1] - indptr[cand.values]
+        else:
+            weights = s_prime.lengths[child_parent]
+        chunks = _chunk_ranges(
+            weights * _FLAT_BYTES, self.policy.frontier_budget_bytes
+        )
+        if len(chunks) > 1:
+            _tally("frontier/spill_chunks", len(chunks))
+        counts = self._counts
+        for ja, jb in chunks:
+            cp = child_parent[ja:jb]
+            cv = cand.values[ja:jb]
+            if info.mode == "copy":
+                flat = sg.gather_neighbors(graph, cv)
+            else:
+                flat = s_prime.take_rows(cp)
+            if flat.total == 0:
+                continue
+            fl = flat.lengths
+            frow = np.repeat(cp, fl)
+            vals = flat.values
+            owners: np.ndarray | None = None
+            if info.mode == "copy":
+                keep = np.ones(vals.size, dtype=bool)
+                for kind, d in mask_ops:
+                    hit = sg.neighbor_membership(
+                        graph, vals, cols[d][frow], policy, op="fused"
+                    )
+                    keep &= hit if kind is OpKind.INTERSECT else ~hit
+            else:
+                owners = np.repeat(cv, fl)
+                hit = sg.neighbor_membership(
+                    graph, vals, owners, policy, op="fused"
+                )
+                keep = hit if info.mode == "intersect" else ~hit
+            if self_bound or fb is not None:
+                if owners is None:
+                    owners = np.repeat(cv, fl)
+                if fb is None:
+                    lb = owners
+                elif self_bound:
+                    lb = np.maximum(fb[frow], owners)
+                else:
+                    lb = fb[frow]
+                keep &= vals > lb
+            for d in fixed_excludes:
+                keep &= vals != cols[d][frow]
+            if self_exclude and info.mode == "subtract":
+                if owners is None:
+                    owners = np.repeat(cv, fl)
+                keep &= vals != owners
+            hit_rows = frow[keep]
+            if hit_rows.size:
+                counts += np.bincount(
+                    root_rows[hit_rows], minlength=counts.size
+                )
+
+
+def frontier_per_root_counts(
+    graph: CSRGraph,
+    plan: ExecutionPlan,
+    roots: Iterable[int],
+    policy: KernelPolicy | None = None,
+    *,
+    shared_level0: MutableMapping[int, sg.SegmentedSet] | None = None,
+) -> np.ndarray:
+    """Convenience wrapper: one engine, one root list, one count vector."""
+    engine = FrontierEngine(graph, plan, policy)
+    return engine.per_root_counts(roots, shared_level0=shared_level0)

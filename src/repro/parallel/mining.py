@@ -13,6 +13,7 @@ from typing import Iterable
 
 from repro.graph.csr import CSRGraph
 from repro.pattern.plan import ExecutionPlan
+from repro.setops.kernels import KernelPolicy
 
 __all__ = [
     "per_root_counts_parallel",
@@ -26,12 +27,14 @@ def per_root_counts_parallel(
     plan: ExecutionPlan,
     roots: Iterable[int] | None,
     jobs: int,
+    *,
+    kernels: KernelPolicy | None = None,
 ) -> list[tuple[int, int]]:
     """``(root, count)`` pairs in serial root order, computed on ``jobs``
     worker processes."""
     from repro.core.sharded import per_root_counts_parallel as _impl
 
-    return _impl(graph, plan, roots, jobs)
+    return _impl(graph, plan, roots, jobs, kernels=kernels)
 
 
 def count_embeddings_parallel(
@@ -39,11 +42,13 @@ def count_embeddings_parallel(
     plan: ExecutionPlan,
     roots: Iterable[int] | None,
     jobs: int,
+    *,
+    kernels: KernelPolicy | None = None,
 ) -> int:
     """Total embedding count, sharded over ``jobs`` worker processes."""
     from repro.core.sharded import count_embeddings_parallel as _impl
 
-    return _impl(graph, plan, roots, jobs)
+    return _impl(graph, plan, roots, jobs, kernels=kernels)
 
 
 def list_embeddings_parallel(
@@ -52,8 +57,10 @@ def list_embeddings_parallel(
     roots: Iterable[int] | None,
     limit: int | None,
     jobs: int,
+    *,
+    kernels: KernelPolicy | None = None,
 ) -> list[tuple[int, ...]]:
     """Embeddings in serial order; ``limit`` truncates after the merge."""
     from repro.core.sharded import list_embeddings_parallel as _impl
 
-    return _impl(graph, plan, roots, limit, jobs)
+    return _impl(graph, plan, roots, limit, jobs, kernels=kernels)

@@ -27,7 +27,7 @@ from typing import Sequence
 from repro.pattern.pattern import Pattern
 from repro.pattern.symmetry import Restriction
 
-__all__ = ["OpKind", "SetOp", "LevelSchedule", "ExecutionPlan"]
+__all__ = ["OpKind", "SetOp", "LevelChain", "LevelSchedule", "ExecutionPlan"]
 
 
 class OpKind(enum.Enum):
@@ -89,6 +89,46 @@ class SetOp:
             f"S#{self.result_state} = {src} {sym} N(u{self.operand_level})"
             f" [serves {list(self.serves)}]"
         )
+
+
+@dataclass(frozen=True)
+class LevelChain:
+    """Shape analysis of one level's schedule for the batched engines.
+
+    A level is *chain-shaped* when its ops form a single linear pipeline
+    ending in the extension set, with exactly one op whose operand is the
+    level's own vertex ``N(u_level)``.  Fixed-operand intersections and
+    subtractions then commute with that one child-dependent op, which is
+    what lets :class:`repro.mining.engine._PenultimateBatcher` and the
+    frontier engine's fused terminal level hoist the fixed part out of
+    the per-child loop.
+
+    Attributes
+    ----------
+    level:
+        The analyzed level.
+    child_op_index:
+        Index (into the schedule's ``ops``) of the unique op whose
+        operand is ``N(u_level)`` — meaningful only when ``batchable``.
+    mode:
+        How the child op combines: ``"copy"`` (INIT_COPY of
+        ``N(u_level)``), ``"intersect"``, or ``"subtract"`` (SUBTRACT or
+        ANTI_SUBTRACT).  Empty when not batchable.
+    reason:
+        ``None`` when the level is batchable, otherwise a short
+        human-readable explanation of which structural condition failed
+        (surfaced by ``ExecutionPlan.describe`` tooling and tests).
+    """
+
+    level: int
+    child_op_index: int = -1
+    mode: str = ""
+    reason: str | None = None
+
+    @property
+    def batchable(self) -> bool:
+        """Whether the batched (hoisted) execution shape applies."""
+        return self.reason is None
 
 
 @dataclass(frozen=True)
@@ -189,6 +229,63 @@ class ExecutionPlan:
                 )
                 lines.append(f"  {op}{suffix}")
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Shape analysis consumed by the batched execution engines
+    # ------------------------------------------------------------------
+
+    def chain_info(self, level: int) -> LevelChain:
+        """Classify one level's schedule for batched execution.
+
+        The batched engines (the penultimate batcher and the frontier
+        engine's fused terminal level) require the level to be a *linear
+        chain*: non-empty ops, the extension set produced by the last
+        op, every non-initial op consuming the previous op's result, and
+        exactly one op whose operand is the level's own vertex.  The
+        returned :class:`LevelChain` either marks the level batchable
+        (with the child op's index and combine mode) or carries the
+        reason it is not.
+        """
+        sched = self.levels[level]
+        ops = sched.ops
+
+        def fail(reason: str) -> LevelChain:
+            return LevelChain(level=level, reason=reason)
+
+        if not ops:
+            return fail("empty schedule")
+        if sched.extend_state != ops[-1].result_state:
+            return fail("extension set is not the last op's result")
+        produced = {op.result_state for op in ops}
+        for i, op in enumerate(ops):
+            if i == 0:
+                if op.source_state is not None and op.source_state in produced:
+                    return fail("first op sources a state produced in-level")
+            elif op.source_state != ops[i - 1].result_state:
+                return fail("ops do not form a linear chain")
+        child_ops = [i for i, op in enumerate(ops) if op.operand_level == level]
+        if len(child_ops) != 1:
+            return fail(
+                f"{len(child_ops)} child-dependent ops (need exactly one)"
+            )
+        child_idx = child_ops[0]
+        mode = {
+            OpKind.INIT_COPY: "copy",
+            OpKind.INTERSECT: "intersect",
+            OpKind.SUBTRACT: "subtract",
+            OpKind.ANTI_SUBTRACT: "subtract",
+        }[ops[child_idx].kind]
+        if mode == "copy" and child_idx != 0:
+            return fail("INIT_COPY of the level vertex is not the first op")
+        return LevelChain(level=level, child_op_index=child_idx, mode=mode)
+
+    def chain_levels(self) -> tuple[int, ...]:
+        """The levels whose schedules are chain-shaped (batchable)."""
+        return tuple(
+            sched.level
+            for sched in self.levels
+            if self.chain_info(sched.level).batchable
+        )
 
     # ------------------------------------------------------------------
     # Static structure queries used by the hardware model

@@ -15,7 +15,11 @@ are one-pass merges (paper section 2.1).  This package provides:
 * :mod:`repro.setops.kernels` — the size-adaptive kernel dispatch layer
   (merge / gallop / hub-bitmap) used by the engine and simulators for
   functional results; bit-identical to the merge primitives
-  (docs/KERNELS.md).
+  (docs/KERNELS.md);
+* :mod:`repro.setops.segmented` — segment-aware batch kernels
+  (:class:`~repro.setops.segmented.SegmentedSet`, batched
+  edge-membership probes) behind the frontier engine's
+  frontier-at-a-time execution (docs/KERNELS.md, "Frontier engine").
 """
 
 from repro.setops.merge import (
@@ -42,6 +46,8 @@ from repro.setops.bitvector import (
 )
 from repro.setops.kernels import (
     KERNEL_NAMES,
+    SEGMENT_KERNEL_NAMES,
+    ENGINE_NAMES,
     KernelContext,
     KernelPolicy,
     DEFAULT_POLICY,
@@ -49,6 +55,13 @@ from repro.setops.kernels import (
     subtract_adaptive,
     kernel_counters,
     reset_kernel_counters,
+)
+from repro.setops.segmented import (
+    SegmentedSet,
+    gather_neighbors,
+    neighbor_membership,
+    intersect_neighbors,
+    subtract_neighbors,
 )
 
 __all__ = [
@@ -69,6 +82,8 @@ __all__ = [
     "aggregate_or",
     "segmented_set_op",
     "KERNEL_NAMES",
+    "SEGMENT_KERNEL_NAMES",
+    "ENGINE_NAMES",
     "KernelContext",
     "KernelPolicy",
     "DEFAULT_POLICY",
@@ -76,4 +91,9 @@ __all__ = [
     "subtract_adaptive",
     "kernel_counters",
     "reset_kernel_counters",
+    "SegmentedSet",
+    "gather_neighbors",
+    "neighbor_membership",
+    "intersect_neighbors",
+    "subtract_neighbors",
 ]

@@ -56,6 +56,8 @@ __all__ = [
     "KernelPolicy",
     "DEFAULT_POLICY",
     "KERNEL_NAMES",
+    "SEGMENT_KERNEL_NAMES",
+    "ENGINE_NAMES",
     "merge_intersect",
     "merge_subtract",
     "gallop_intersect",
@@ -76,6 +78,13 @@ _EMPTY = np.empty(0, dtype=np.int32)
 
 #: The selectable kernel names (``KernelPolicy.force_kernel`` values).
 KERNEL_NAMES = ("merge", "gallop", "bitmap")
+
+#: The segmented membership-kernel names
+#: (``KernelPolicy.force_segment_kernel`` values; repro.setops.segmented).
+SEGMENT_KERNEL_NAMES = ("bitmap", "edgekey", "bisect")
+
+#: The mining-engine execution models (``KernelPolicy.engine`` values).
+ENGINE_NAMES = ("frontier", "recursive")
 
 
 def _as_ids(a: Sequence[int] | np.ndarray) -> np.ndarray:
@@ -311,13 +320,32 @@ class KernelPolicy:
         bound caps ``#hubs * ceil(|V|/64) * 8`` bytes.
     batch_penultimate:
         Enable the vectorized penultimate-level counting path in
-        :mod:`repro.mining.engine`.
+        :mod:`repro.mining.engine` (recursive engine) and the fused
+        terminal level of the frontier engine.
     force_kernel:
         ``"merge"``, ``"gallop"``, or ``"bitmap"`` pins every dispatch
         to one kernel (the property-test escape hatch); ``None`` selects
         adaptively.  Forcing also disables the hub index (the forced
         bitmap kernel packs operands on the fly so the oracle sees the
         standalone kernel).
+    engine:
+        Mining execution model: ``"frontier"`` (breadth-batched NumPy
+        levels, the default) or ``"recursive"`` (the per-embedding
+        oracle path).  Counting only; listing always recurses.
+    frontier_budget_bytes:
+        Spill budget for the frontier engine: when materializing the
+        next level's embedding matrix (or a fused terminal probe) would
+        exceed this many bytes, the frontier is processed in contiguous
+        row chunks instead.  Any budget produces identical counts.
+    force_segment_kernel:
+        ``"bitmap"``, ``"edgekey"``, or ``"bisect"`` pins the segmented
+        membership kernel (:mod:`repro.setops.segmented`); ``None``
+        selects adaptively.
+    segment_bitmap_bytes:
+        Ceiling on the dense adjacency bitmap
+        (:meth:`repro.graph.csr.CSRGraph.adjacency_bitmap`) the
+        segmented dispatch may build; larger graphs fall back to the
+        edge-key / bisect kernels.
 
     Every policy produces bit-identical results; only speed changes.
     """
@@ -330,6 +358,10 @@ class KernelPolicy:
     hub_memory_bytes: int = 8 << 20
     batch_penultimate: bool = True
     force_kernel: str | None = None
+    engine: str = "frontier"
+    frontier_budget_bytes: int = 128 << 20
+    force_segment_kernel: str | None = None
+    segment_bitmap_bytes: int = 16 << 20
 
     def __post_init__(self) -> None:
         if self.force_kernel is not None and self.force_kernel not in KERNEL_NAMES:
@@ -337,6 +369,20 @@ class KernelPolicy:
                 f"unknown kernel {self.force_kernel!r}; choose from "
                 f"{KERNEL_NAMES}"
             )
+        if self.engine not in ENGINE_NAMES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; choose from {ENGINE_NAMES}"
+            )
+        if (
+            self.force_segment_kernel is not None
+            and self.force_segment_kernel not in SEGMENT_KERNEL_NAMES
+        ):
+            raise ValueError(
+                f"unknown segment kernel {self.force_segment_kernel!r}; "
+                f"choose from {SEGMENT_KERNEL_NAMES}"
+            )
+        if self.frontier_budget_bytes < 1:
+            raise ValueError("frontier_budget_bytes must be >= 1")
 
 
 #: The library-wide default policy.

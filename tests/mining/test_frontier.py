@@ -1,0 +1,173 @@
+"""Frontier engine: spill invariance, edge cases, and the shared trunk.
+
+The agreement sweep (test_kernel_agreement.py) covers the full
+pattern × policy matrix; this file targets the frontier-specific
+machinery — budget chunking never changing counts (property-based),
+degenerate inputs, the lazy state carry, and the multi-pattern
+shared level-0 trunk.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builders import from_edges
+from repro.graph.generators import barabasi_albert, erdos_renyi
+from repro.mining.engine import count_embeddings, count_multi, per_root_counts
+from repro.mining.frontier import FrontierEngine, _chunk_ranges
+from repro.pattern.compiler import compile_plan
+from repro.pattern.multipattern import compile_multi_plan, motif_patterns
+from repro.pattern.pattern import all_named_patterns, named_pattern
+from repro.setops.kernels import (
+    KernelPolicy,
+    kernel_counters,
+    reset_kernel_counters,
+)
+
+GRAPH = erdos_renyi(80, 0.18, seed=21)
+HUBBY = barabasi_albert(90, 6, seed=8)
+
+RECURSIVE = KernelPolicy(engine="recursive")
+
+
+def _frontier(budget: int = 128 << 20, **kw) -> KernelPolicy:
+    return KernelPolicy(engine="frontier", frontier_budget_bytes=budget, **kw)
+
+
+class TestChunkRanges:
+    def test_single_range_when_under_budget(self):
+        assert _chunk_ranges(np.array([3, 4, 5]), 100) == [(0, 3)]
+
+    def test_cuts_cover_everything_exactly_once(self):
+        w = np.array([10, 1, 1, 50, 1, 90, 2])
+        ranges = _chunk_ranges(w, 12)
+        flat = [i for a, b in ranges for i in range(a, b)]
+        assert flat == list(range(w.size))
+
+    def test_every_range_nonempty_even_over_budget(self):
+        ranges = _chunk_ranges(np.array([100, 100]), 1)
+        assert ranges == [(0, 1), (1, 2)]
+
+    def test_empty(self):
+        assert _chunk_ranges(np.zeros(0, dtype=np.int64), 10) == []
+
+
+class TestSpillInvariance:
+    @given(budget=st.integers(1, 1 << 22))
+    @settings(max_examples=25, deadline=None)
+    def test_any_budget_counts_identically(self, budget):
+        plan = compile_plan(named_pattern("tt"))
+        expected = count_embeddings(GRAPH, plan, kernels=RECURSIVE)
+        got = count_embeddings(GRAPH, plan, kernels=_frontier(budget))
+        assert got == expected
+
+    @given(
+        budget=st.integers(1, 1 << 18),
+        pattern=st.sampled_from(["4cl", "house", "cyc", "dia"]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_budget_and_pattern_product(self, budget, pattern):
+        plan = compile_plan(named_pattern(pattern))
+        a = list(per_root_counts(HUBBY, plan, kernels=RECURSIVE))
+        b = list(per_root_counts(HUBBY, plan, kernels=_frontier(budget)))
+        assert a == b
+
+    def test_tiny_budget_actually_spills(self):
+        plan = compile_plan(named_pattern("house"))
+        reset_kernel_counters()
+        count_embeddings(GRAPH, plan, kernels=_frontier(budget=64))
+        assert kernel_counters().get("frontier/spill_chunks", 0) > 1
+
+
+class TestEdgeCases:
+    def test_single_vertex_pattern(self):
+        plan = compile_plan(named_pattern("edge"))
+        assert plan.num_levels == 2
+        a = count_embeddings(GRAPH, plan, kernels=RECURSIVE)
+        b = count_embeddings(GRAPH, plan, kernels=_frontier())
+        assert a == b
+
+    def test_empty_roots(self):
+        plan = compile_plan(named_pattern("tc"))
+        engine = FrontierEngine(GRAPH, plan)
+        out = engine.per_root_counts([])
+        assert out.size == 0
+
+    def test_edgeless_graph(self):
+        lonely = from_edges([], num_vertices=5)
+        plan = compile_plan(named_pattern("tc"))
+        assert count_embeddings(lonely, plan, kernels=_frontier()) == 0
+
+    def test_roots_subset_and_duplicates(self):
+        plan = compile_plan(named_pattern("tt"))
+        roots = [7, 3, 3, 0, 79, 7]
+        a = list(per_root_counts(GRAPH, plan, roots=roots, kernels=RECURSIVE))
+        b = list(per_root_counts(GRAPH, plan, roots=roots, kernels=_frontier()))
+        assert a == b
+        assert [r for r, _ in b] == roots
+
+    def test_engine_reuse_across_root_lists(self):
+        plan = compile_plan(named_pattern("4cl"))
+        engine = FrontierEngine(GRAPH, plan)
+        full = engine.per_root_counts(range(GRAPH.num_vertices))
+        half = engine.per_root_counts(range(0, GRAPH.num_vertices, 2))
+        assert np.array_equal(half, full[::2])
+
+    @pytest.mark.parametrize("pattern", sorted(all_named_patterns()))
+    def test_batch_penultimate_off_matches(self, pattern):
+        plan = compile_plan(named_pattern(pattern))
+        a = count_embeddings(
+            GRAPH, plan, kernels=_frontier(batch_penultimate=False)
+        )
+        b = count_embeddings(GRAPH, plan, kernels=RECURSIVE)
+        assert a == b
+
+
+class TestSharedTrunk:
+    def _multi(self):
+        patterns, names = motif_patterns(4)
+        return compile_multi_plan(patterns, names=names)
+
+    def test_count_multi_matches_independent_counts(self):
+        multi = self._multi()
+        for policy in (RECURSIVE, _frontier(), _frontier(budget=1), None):
+            got = count_multi(GRAPH, multi, kernels=policy)
+            for name, plan in zip(multi.names, multi.plans):
+                expected = count_embeddings(GRAPH, plan, kernels=RECURSIVE)
+                assert got[name] == expected, (name, policy)
+
+    def test_trunk_reuses_level0_states(self):
+        """The shared trunk must eliminate repeated level-0 INIT_COPY
+        gathers: counting N plans together performs fewer segmented runs
+        than counting them separately."""
+        multi = self._multi()
+        reset_kernel_counters()
+        count_multi(GRAPH, multi, kernels=_frontier())
+        fused = dict(kernel_counters())
+        reset_kernel_counters()
+        for plan in multi.plans:
+            count_embeddings(GRAPH, plan, kernels=_frontier())
+        separate = dict(kernel_counters())
+        assert fused.get("frontier/runs", 0) == len(
+            [p for p in multi.plans if p.num_levels >= 2]
+        )
+        # Shared level-0 results mean strictly fewer segmented set-op
+        # dispatches overall.
+        fused_ops = sum(v for k, v in fused.items() if k.startswith("seg_"))
+        separate_ops = sum(
+            v for k, v in separate.items() if k.startswith("seg_")
+        )
+        assert fused_ops <= separate_ops
+
+    def test_count_multi_with_roots_subset(self):
+        multi = self._multi()
+        roots = [0, 2, 40, 41]
+        a = count_multi(GRAPH, multi, roots=roots, kernels=RECURSIVE)
+        b = count_multi(GRAPH, multi, roots=roots, kernels=_frontier())
+        assert a == b
+
+    def test_count_multi_jobs_matches_serial(self):
+        multi = self._multi()
+        serial = count_multi(GRAPH, multi)
+        assert count_multi(GRAPH, multi, jobs=2) == serial

@@ -1,35 +1,66 @@
-"""Agreement sweep: every kernel policy counts identically.
+"""Agreement sweep: every kernel policy and engine counts identically.
 
-The dispatch layer's contract (docs/KERNELS.md) is that kernel choice,
-hub bitmaps, and the penultimate batch counter are *functional-only*:
-for all 11 built-in patterns, both induced semantics, and any policy
-(forced kernels, shifted thresholds, aggressive hubs, batching off) the
-counts are bit-identical to the legacy merge-and-recurse configuration.
+The dispatch layer's contract (docs/KERNELS.md) is that the execution
+engine (frontier vs recursive), kernel choice, hub bitmaps, and the
+penultimate batch counter are *functional-only*: for all 11 built-in
+patterns, both induced semantics, and any policy (forced kernels,
+shifted thresholds, aggressive hubs, batching off, tiny spill budgets)
+the counts — and the per-root count sequences — are bit-identical to
+the legacy merge-and-recurse configuration.
 """
 
 import pytest
 
 from repro.graph.generators import barabasi_albert, erdos_renyi
-from repro.mining.engine import count_embeddings, list_embeddings
+from repro.mining.engine import (
+    count_embeddings,
+    list_embeddings,
+    per_root_counts,
+)
 from repro.pattern.compiler import compile_plan
 from repro.pattern.pattern import all_named_patterns, named_pattern
 from repro.setops.kernels import KernelPolicy
 
 #: The pre-kernel-layer execution shape: sort-based merges, per-child
 #: recursion at every level.
-LEGACY = KernelPolicy(force_kernel="merge", batch_penultimate=False)
+LEGACY = KernelPolicy(
+    force_kernel="merge", batch_penultimate=False, engine="recursive"
+)
 
 POLICIES = {
     "default": None,
-    "force-merge": KernelPolicy(force_kernel="merge"),
-    "force-gallop": KernelPolicy(force_kernel="gallop"),
-    "force-bitmap": KernelPolicy(force_kernel="bitmap"),
-    "batch-off": KernelPolicy(batch_penultimate=False),
-    "gallop-always": KernelPolicy(gallop_ratio=1.0, gallop_min_large=1),
-    "hubs-aggressive": KernelPolicy(
-        hub_min_degree=1, hub_max_hubs=4096, hub_memory_bytes=32 << 20
+    "recursive": KernelPolicy(engine="recursive"),
+    "force-merge": KernelPolicy(force_kernel="merge", engine="recursive"),
+    "force-gallop": KernelPolicy(force_kernel="gallop", engine="recursive"),
+    "force-bitmap": KernelPolicy(force_kernel="bitmap", engine="recursive"),
+    "batch-off": KernelPolicy(batch_penultimate=False, engine="recursive"),
+    "gallop-always": KernelPolicy(
+        gallop_ratio=1.0, gallop_min_large=1, engine="recursive"
     ),
-    "hubs-off": KernelPolicy(use_hub_bitmaps=False),
+    "hubs-aggressive": KernelPolicy(
+        hub_min_degree=1, hub_max_hubs=4096, hub_memory_bytes=32 << 20,
+        engine="recursive",
+    ),
+    "hubs-off": KernelPolicy(use_hub_bitmaps=False, engine="recursive"),
+    "frontier": KernelPolicy(engine="frontier"),
+    "frontier-batch-off": KernelPolicy(
+        engine="frontier", batch_penultimate=False
+    ),
+    "frontier-tiny-spill": KernelPolicy(
+        engine="frontier", frontier_budget_bytes=1
+    ),
+    "frontier-bisect": KernelPolicy(
+        engine="frontier", force_segment_kernel="bisect"
+    ),
+    "frontier-edgekey": KernelPolicy(
+        engine="frontier", force_segment_kernel="edgekey"
+    ),
+    "frontier-bitmap": KernelPolicy(
+        engine="frontier", force_segment_kernel="bitmap"
+    ),
+    "frontier-no-bitmap": KernelPolicy(
+        engine="frontier", segment_bitmap_bytes=0
+    ),
 }
 
 GRAPHS = {
@@ -55,6 +86,19 @@ def test_counts_identical_across_policies(pattern, vertex_induced, graph_name):
         )
 
 
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+@pytest.mark.parametrize("pattern", sorted(all_named_patterns()))
+def test_per_root_sequences_identical_across_engines(pattern, graph_name):
+    """Both engines yield identical (root, count) pairs in identical
+    order — the sharded merge and the PE schedulers rely on this."""
+    graph = GRAPHS[graph_name]
+    plan = compile_plan(named_pattern(pattern))
+    reference = list(per_root_counts(graph, plan, kernels=LEGACY))
+    for name, policy in POLICIES.items():
+        got = list(per_root_counts(graph, plan, kernels=policy))
+        assert got == reference, f"policy {name} per-root sequence differs"
+
+
 @pytest.mark.parametrize("pattern", ["tc", "4cl", "tt", "house"])
 def test_listing_identical_across_policies(pattern):
     graph = GRAPHS["ba"]
@@ -74,11 +118,19 @@ def test_default_policy_equals_explicit_none():
 
 
 def test_sharded_counts_match_kernel_policies():
-    """Workers use the default policy; totals must match any local policy."""
+    """Workers inherit the caller's policy; totals must match serial runs
+    of every engine."""
     graph = GRAPHS["ba"]
     plan = compile_plan(named_pattern("4cl"))
     serial = count_embeddings(graph, plan, kernels=LEGACY)
     assert count_embeddings(graph, plan, jobs=2) == serial
+    assert count_embeddings(graph, plan, jobs=2, kernels=LEGACY) == serial
+    assert (
+        count_embeddings(
+            graph, plan, jobs=2, kernels=KernelPolicy(engine="frontier")
+        )
+        == serial
+    )
 
 
 def test_batcher_respects_roots_subset():
