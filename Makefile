@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: install test bench bench-fast bench-kernels bench-sweep bench-engine examples clean loc lint lint-flow chaos check
+.PHONY: install test bench bench-fast bench-kernels bench-sweep bench-engine bench-autotune tune-smoke examples clean loc lint lint-flow chaos check
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -18,7 +18,7 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 bench-cli:
-	$(PYTHON) -m repro.bench --out benchmarks/results
+	$(PYTHON) -m repro.bench
 
 # Set-op kernel microbenchmarks + end-to-end counting speedups; writes
 # benchmarks/results/BENCH_kernels.json (docs/KERNELS.md).
@@ -38,6 +38,23 @@ bench-sweep:
 bench-engine:
 	$(PYTHON) -m repro exp run examples/sweeps/engine_frontier.toml
 	$(PYTHON) -m repro exp report engine-frontier
+
+# Input-aware auto-tuner (docs/TUNING.md): warm the tuned-choice store
+# for the er300 cells, then sweep default vs tuned policies uncached so
+# tuned wall times exclude trial cost; rows land under "engine-autotune"
+# and the report's policy-speedup table shows tuned/default ratios.
+bench-autotune:
+	$(PYTHON) -m repro tune tt --dataset er300
+	$(PYTHON) -m repro tune cyc --dataset er300
+	$(PYTHON) -m repro tune house --dataset er300
+	$(PYTHON) -m repro exp run examples/sweeps/engine_autotune.toml --no-cache
+	$(PYTHON) -m repro exp report engine-autotune
+
+# Auto-tuner persistence gate: cold-store tune must run trials, the
+# second invocation must reuse the persisted choice with zero re-trials
+# (docs/TUNING.md, "Persistence and invalidation").
+tune-smoke:
+	$(PYTHON) tools/tune_smoke.py
 
 examples:
 	$(PYTHON) examples/quickstart.py

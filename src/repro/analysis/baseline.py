@@ -32,6 +32,7 @@ __all__ = [
     "Baseline",
     "load_baseline",
     "partition",
+    "undocumented_entries",
     "unused_entries",
     "write_baseline",
 ]
@@ -84,13 +85,26 @@ def load_baseline(path: Path | str) -> Baseline:
     return Baseline(entries={str(k): dict(v) for k, v in entries.items()})
 
 
-def write_baseline(path: Path | str, findings: Sequence[Finding]) -> Baseline:
+def write_baseline(
+    path: Path | str, findings: Sequence[Finding], *, reason: str
+) -> Baseline:
     """Snapshot ``findings`` as a fresh baseline file (sorted, stable).
 
-    Reasons of surviving entries are *not* preserved across rewrites on
-    purpose: regenerating the baseline is a review event, and every
-    entry's reason should be (re-)stated deliberately.
+    ``reason`` is required and must be a real justification — not empty,
+    not a ``TODO`` placeholder: a suppression without a documented why
+    is review debt the gate exists to prevent.  It is applied to every
+    written entry; edit the file afterwards when individual entries
+    deserve individual reasons.  Reasons of surviving entries are *not*
+    preserved across rewrites on purpose: regenerating the baseline is a
+    review event, and every entry's reason should be (re-)stated
+    deliberately.
     """
+    cleaned = reason.strip()
+    if not cleaned or cleaned.upper().startswith("TODO"):
+        raise ValueError(
+            "baseline entries need a real reason (non-empty, not a TODO "
+            "placeholder); pass one with --reason"
+        )
     baseline = Baseline(
         entries={
             fp: {
@@ -98,7 +112,7 @@ def write_baseline(path: Path | str, findings: Sequence[Finding]) -> Baseline:
                 "path": f.path,
                 "snippet": f.snippet,
                 "message": f.message,
-                "reason": "TODO: document why this finding is intentional",
+                "reason": cleaned,
             }
             for f, fp in fingerprint_all(findings)
         }
@@ -143,3 +157,18 @@ def unused_entries(
         for fp, entry in baseline.entries.items()
         if fp not in live
     }
+
+
+def undocumented_entries(baseline: Baseline) -> dict[str, dict[str, str]]:
+    """Baseline entries whose reason is missing, empty, or a TODO stub.
+
+    These are suppressions that never received their review:
+    ``repro lint --check-unused-baseline`` treats them like stale
+    entries and fails, so a placeholder cannot quietly become permanent.
+    """
+    flagged: dict[str, dict[str, str]] = {}
+    for fp, entry in baseline.entries.items():
+        reason = str(entry.get("reason", "")).strip()
+        if not reason or reason.upper().startswith("TODO"):
+            flagged[fp] = entry
+    return flagged

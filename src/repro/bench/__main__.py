@@ -2,15 +2,19 @@
 
 Runs all experiments (paper tables/figures plus the ablations and the
 software study) in one process so the run cache is shared, printing each
-rendered result and optionally writing them to a directory::
+rendered result::
 
     python -m repro.bench                  # print everything
-    python -m repro.bench --out            # also write one .txt per exp
-                                           # to benchmarks/results/
     python -m repro.bench --only fig9 fig12
     python -m repro.bench --jobs 8         # shard roots over 8 processes
     python -m repro.bench --no-cache       # ignore the persistent cache
     python -m repro.bench --profile-kernels  # kernel dispatch counters
+
+This command only prints.  Persisted artifacts go through the result
+store and the report generator — ``repro exp run`` records rows,
+``repro exp report <run> --format txt`` regenerates the text view (the
+``--out`` .txt emitter this command used to carry is retired;
+docs/BENCHMARKS.md).
 
 Results are memoized on disk (``REPRO_CACHE_DIR``, default
 ``~/.cache/repro``; see docs/PARALLELISM.md), so a repeated sweep with a
@@ -21,7 +25,6 @@ summary line reports the exact hit/miss/simulate counts.
 from __future__ import annotations
 
 import argparse
-import pathlib
 import sys
 import time
 
@@ -60,15 +63,6 @@ ALL_EXPERIMENTS = {
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro.bench")
     parser.add_argument(
-        "--out", nargs="?", const="", metavar="DIR",
-        help="[deprecated] write one .txt per experiment; bare --out "
-             "targets the canonical results dir (repro.bench.paths."
-             "results_dir).  New artifacts go through the result store "
-             "and report generator instead ('repro exp run/report', "
-             "docs/BENCHMARKS.md); this text path will be removed once "
-             "the remaining figure goldens migrate.",
-    )
-    parser.add_argument(
         "--only", nargs="+", choices=sorted(ALL_EXPERIMENTS),
         help="run only these experiments",
     )
@@ -97,19 +91,6 @@ def main(argv=None) -> int:
         reset_kernel_counters()
 
     names = args.only or list(ALL_EXPERIMENTS)
-    out_dir = None
-    if args.out is not None:
-        from repro.bench.paths import results_dir
-
-        out_dir = pathlib.Path(args.out) if args.out else results_dir()
-        out_dir.mkdir(parents=True, exist_ok=True)
-        print(
-            "note: --out .txt artifacts are deprecated; sweeps store "
-            "rows via 'repro exp run' and render via 'repro exp report' "
-            "(docs/BENCHMARKS.md)",
-            file=sys.stderr,
-        )
-
     for name in names:
         start = time.time()
         result = ALL_EXPERIMENTS[name]()
@@ -117,8 +98,6 @@ def main(argv=None) -> int:
         elapsed = time.time() - start
         print(f"\n=== {name} ({elapsed:.1f}s) ===")
         print(text)
-        if out_dir:
-            (out_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
     stats = _runner.runner_stats()
     from repro.cache import cache_dir
 

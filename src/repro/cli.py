@@ -18,6 +18,8 @@ Subcommands
                baselines (docs/BENCHMARKS.md).
 ``lint``       Static determinism/parallel-safety linter (docs/ANALYSIS.md).
 ``lint-plan``  Statically verify compiled execution plans.
+``tune``       Measure and persist the tuned plan/policy choice for one
+               (pattern, graph) cell (docs/TUNING.md).
 
 ``count``, ``simulate``, ``compare``, and ``bench`` accept ``--jobs N``
 (shard search-tree roots over N worker processes; results are identical
@@ -31,6 +33,7 @@ Examples::
     python -m repro plan tt
     python -m repro compare cyc --dataset As --pes 1 --jobs 4
     python -m repro bench table2
+    python -m repro tune tt --dataset Mi
     python -m repro exp run examples/sweeps/smoke.toml
     python -m repro exp report smoke
     python -m repro exp diff kernels-baseline kernels-current
@@ -45,7 +48,11 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.graph.datasets import dataset_names, load_dataset
+from repro.graph.datasets import (
+    bench_graph_names,
+    dataset_names,
+    load_dataset,
+)
 from repro.graph.io import load_edge_list
 from repro.graph.stats import graph_stats
 
@@ -55,7 +62,8 @@ __all__ = ["main", "build_parser"]
 def _add_graph_args(parser: argparse.ArgumentParser) -> None:
     group = parser.add_mutually_exclusive_group(required=True)
     group.add_argument(
-        "--dataset", choices=dataset_names(), help="built-in dataset analog"
+        "--dataset", choices=dataset_names() + bench_graph_names(),
+        help="built-in dataset analog or benchmark graph",
     )
     group.add_argument("--file", help="SNAP-style edge-list file")
 
@@ -175,6 +183,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "tune",
+        help="measure & persist the tuned plan/policy for one "
+             "(pattern, graph) cell (docs/TUNING.md)",
+    )
+    p.add_argument("pattern", help="benchmark pattern name (tc, 4cl, tt, ...)")
+    _add_graph_args(p)
+    p.add_argument(
+        "--edge-induced", action="store_true", help="edge-induced semantics"
+    )
+    p.add_argument(
+        "--force", action="store_true",
+        help="re-run measured trials even when the store already holds "
+             "a choice for this cell",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    p = sub.add_parser(
         "cache", help="inspect, clear, or health-check the result cache"
     )
     p.add_argument(
@@ -216,7 +243,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--write-baseline", action="store_true",
             help="snapshot current findings into the baseline file and "
-                 "exit 0",
+                 "exit 0 (requires --reason)",
+        )
+        p.add_argument(
+            "--reason", metavar="TEXT", default=None,
+            help="with --write-baseline: the documented justification "
+                 "applied to every written entry (required; edit the "
+                 "file for per-entry reasons)",
         )
         p.add_argument(
             "--show-suppressed", action="store_true",
@@ -272,8 +305,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="output directory (default: benchmarks/results/reports)",
     )
     q.add_argument(
-        "--format", choices=["md", "html"], action="append", default=None,
-        help="emit only this format (repeatable; default: both)",
+        "--format", choices=["md", "html", "txt"], action="append",
+        default=None,
+        help="emit only this format (repeatable; default: md + html; "
+             "txt is the terminal-facing view that replaced the "
+             "retired 'repro.bench --out' text artifacts)",
     )
 
     q = exp_sub.add_parser(
@@ -447,6 +483,65 @@ def _cmd_backends(args) -> int:
     return 0
 
 
+def _cmd_tune(args) -> int:
+    import json as _json
+
+    from repro.core.backend import config_signature
+    from repro.mining.api import plan_for
+    from repro.tuning import reset_tuning_stats, tune_plan, tuning_stats
+
+    graph = _load_graph(args)
+    plan = plan_for(args.pattern, vertex_induced=not args.edge_induced)
+    reset_tuning_stats()
+    choice = tune_plan(graph, plan, force=args.force)
+    stats = tuning_stats()
+    if stats.tuned_cells:
+        source = "trial"
+    elif stats.store_hits:
+        source = "store"
+    elif stats.memo_hits:
+        source = "memo"
+    else:
+        source = "trivial"
+    if args.json:
+        print(_json.dumps({
+            "pattern": args.pattern,
+            "graph": _graph_label(args),
+            "source": source,
+            "candidate": choice.candidate_label,
+            "order": list(choice.order),
+            "policy": config_signature(choice.policy),
+            "trials": choice.trials,
+            "sample_size": choice.sample_size,
+            "reference_seconds": choice.reference_seconds,
+            "chosen_seconds": choice.chosen_seconds,
+            "speedup": choice.speedup,
+            "stats": stats.as_dict(),
+        }, indent=2))
+        return 0
+    print(f"pattern:   {args.pattern} "
+          f"({'edge' if args.edge_induced else 'vertex'}-induced)")
+    print(f"graph:     {_graph_label(args)}")
+    print(f"source:    {source}")
+    print(f"candidate: {choice.candidate_label}")
+    print(f"order:     {'-'.join(str(v) for v in choice.order)}")
+    print(f"policy:    {config_signature(choice.policy)}")
+    if source == "trial":
+        print(f"trials:    {choice.trials} "
+              f"(final sample: {choice.sample_size} roots)")
+    else:
+        print(f"trials:    0 this run (choice decided by {choice.trials} "
+              f"stored trials; --force re-measures)")
+    if choice.trials:
+        print(f"speedup:   {choice.speedup:.2f}x over the reference "
+              f"({choice.reference_seconds * 1e3:.1f} ms -> "
+              f"{choice.chosen_seconds * 1e3:.1f} ms)")
+    if stats.rejected_candidates:
+        print(f"rejected:  {stats.rejected_candidates} candidate(s) with "
+              f"diverging per-root sequences")
+    return 0
+
+
 def _cmd_validate(args) -> int:
     from repro.mining.validate import cross_validate
 
@@ -530,16 +625,33 @@ def _finish_lint(args, findings, default_baseline_name: str) -> int:
         render_text,
         write_baseline,
     )
-    from repro.analysis.baseline import Baseline, partition, unused_entries
+    from repro.analysis.baseline import (
+        Baseline,
+        partition,
+        undocumented_entries,
+        unused_entries,
+    )
 
     baseline_path = Path(args.baseline) if args.baseline else Path(
         default_baseline_name
     )
     if args.write_baseline:
-        written = write_baseline(baseline_path, findings)
+        if args.reason is None:
+            print(
+                "error: --write-baseline requires --reason TEXT (the "
+                "documented justification for the suppressed findings)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            written = write_baseline(baseline_path, findings,
+                                     reason=args.reason)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         print(
             f"wrote {len(written)} finding{'' if len(written) == 1 else 's'} "
-            f"to {baseline_path}; document a reason for each entry"
+            f"to {baseline_path}; refine per-entry reasons in the file"
         )
         return 0
 
@@ -574,6 +686,25 @@ def _finish_lint(args, findings, default_baseline_name: str) -> int:
                 f"error: {len(stale)} baseline entr"
                 f"{'y is' if len(stale) == 1 else 'ies are'} no longer "
                 f"matched by any finding; prune {baseline_path}",
+                file=sys.stderr,
+            )
+            status = max(status, 1)
+        undocumented = undocumented_entries(baseline)
+        for fp in sorted(undocumented):
+            entry = undocumented[fp]
+            print(
+                "undocumented baseline entry {}: {} {} (reason: {!r})".format(
+                    fp, entry.get("rule", "?"), entry.get("path", "?"),
+                    entry.get("reason", ""),
+                ),
+                file=sys.stderr,
+            )
+        if undocumented:
+            print(
+                f"error: {len(undocumented)} baseline entr"
+                f"{'y carries' if len(undocumented) == 1 else 'ies carry'} "
+                f"an empty or TODO reason; document them in "
+                f"{baseline_path}",
                 file=sys.stderr,
             )
             status = max(status, 1)
@@ -802,6 +933,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "bench": _cmd_bench,
     "backends": _cmd_backends,
+    "tune": _cmd_tune,
     "cache": _cmd_cache,
     "exp": _cmd_exp,
     "lint": _cmd_lint,

@@ -210,6 +210,19 @@ class FunctionalBackend(Backend):
     def config_from_args(self, args):
         return FunctionalConfig()
 
+    def prepare(self, graph, plans, config) -> None:
+        """Warm the tuned-choice store at the driver for tuned runs.
+
+        Sharded workers then resolve ``KernelPolicy(tuned=True)`` with a
+        store hit apiece instead of each re-running measured trials.
+        """
+        if config.kernels is None or not config.kernels.tuned:
+            return
+        from repro.tuning import tune_plan
+
+        for plan in plans:
+            tune_plan(graph, plan, config.kernels)
+
     def summary(self, result: RunResult) -> list[str]:
         lines = [
             f"design:  {result.design} (reference engine)",

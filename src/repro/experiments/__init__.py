@@ -35,6 +35,7 @@ from repro.experiments.regress import DiffReport, Finding, diff_runs
 from repro.experiments.report import (
     render_html,
     render_markdown,
+    render_text,
     write_report,
 )
 from repro.experiments.spec import (
@@ -65,6 +66,7 @@ __all__ = [
     "migrate_legacy_results",
     "render_html",
     "render_markdown",
+    "render_text",
     "run_sweep",
     "write_report",
 ]

@@ -26,7 +26,7 @@ from typing import Iterable, Sequence
 from repro.bench.paths import reports_dir
 from repro.experiments.store import ResultRow, ResultStore
 
-__all__ = ["render_html", "render_markdown", "write_report"]
+__all__ = ["render_html", "render_markdown", "render_text", "write_report"]
 
 
 def _sorted(rows: Iterable[ResultRow]) -> list[ResultRow]:
@@ -252,6 +252,69 @@ def render_markdown(rows: Iterable[ResultRow], *, run: str) -> str:
     return "\n".join(parts)
 
 
+def _text_table(header: list[str], body: list[list[str]]) -> str:
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in body)) if body
+        else len(header[i])
+        for i in range(len(header))
+    ]
+
+    def line(cells: list[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    rule = "  ".join("-" * w for w in widths)
+    return "\n".join([line(header), rule] + [line(row) for row in body])
+
+
+def render_text(rows: Iterable[ResultRow], *, run: str) -> str:
+    """The plain-text report for one run's rows (pure; byte-stable).
+
+    The terminal-facing sibling of :func:`render_markdown` — same
+    sections, fixed-width tables.  This view replaced the retired
+    ``python -m repro.bench --out`` .txt emitter: text artifacts now
+    regenerate from stored rows like every other format
+    (``repro exp report <run> --format txt``).
+    """
+    rows, failures = _partition(rows)
+    summary = f"{len(rows)} result rows."
+    if failures:
+        summary = (
+            f"{len(rows)} result rows; "
+            f"{len(failures)} cell(s) currently failed."
+        )
+    parts = [f"=== Sweep report: {run} ===", "", summary, ""]
+    header, body = _result_table(rows)
+    parts += ["-- Results --", "", _text_table(header, body), ""]
+    if failures:
+        parts += [
+            "-- Failures --", "",
+            _text_table(_FAILURE_HEADER, _failure_rows(failures)), "",
+        ]
+    speedups = _speedup_rows(rows)
+    if speedups:
+        parts += [
+            "-- Wall-clock speedup vs functional/default --", "",
+            _text_table(_SPEEDUP_HEADER, speedups), "",
+        ]
+    policy_speedups = _policy_speedup_rows(rows)
+    if policy_speedups:
+        parts += [
+            "-- Wall-clock speedup vs baseline policy --", "",
+            _text_table(_POLICY_SPEEDUP_HEADER, policy_speedups), "",
+        ]
+    cycles = _cycle_speedup_rows(rows)
+    if cycles:
+        parts += [
+            "-- Modelled cycles: fingers vs flexminer --", "",
+            _text_table(_CYCLES_HEADER, cycles), "",
+        ]
+    parts += [
+        "-- Provenance --", "",
+        _text_table(_PROVENANCE_HEADER, _provenance_rows(rows)), "",
+    ]
+    return "\n".join(parts)
+
+
 def _html_table(header: list[str], body: list[list[str]]) -> str:
     head = "".join(f"<th>{html.escape(h)}</th>" for h in header)
     rows_html = "".join(
@@ -332,7 +395,8 @@ def write_report(
     rows = store.load(run)
     out = Path(out_dir) if out_dir is not None else reports_dir(create=True)
     out.mkdir(parents=True, exist_ok=True)
-    renderers = {"md": render_markdown, "html": render_html}
+    renderers = {"md": render_markdown, "html": render_html,
+                 "txt": render_text}
     unknown = set(formats) - set(renderers)
     if unknown:
         raise ValueError(f"unknown report formats: {sorted(unknown)}")

@@ -99,6 +99,7 @@ class CSRGraph:
         "_hub_cache",
         "_edge_key_cache",
         "_adj_bitmap_cache",
+        "_signature_cache",
     )
 
     def __init__(
@@ -121,6 +122,9 @@ class CSRGraph:
         self._hub_cache: dict[tuple[int, int, int], HubBitmapIndex] = {}
         self._edge_key_cache: np.ndarray | None = None
         self._adj_bitmap_cache: np.ndarray | None = None
+        #: Memoized tuning signature (repro.tuning.signature) — derived
+        #: data only, computed at most once per graph instance.
+        self._signature_cache: object | None = None
 
     @staticmethod
     def _validate(indptr: np.ndarray, indices: np.ndarray) -> None:
@@ -354,6 +358,7 @@ class CSRGraph:
         self._hub_cache = {}
         self._edge_key_cache = None
         self._adj_bitmap_cache = None
+        self._signature_cache = None
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, CSRGraph):

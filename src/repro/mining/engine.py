@@ -421,7 +421,17 @@ def per_root_counts(
     With ``jobs`` the pairs are computed on worker processes — each
     worker batches its whole contiguous root chunk through one frontier
     — and yielded in the same serial root order.
+
+    ``KernelPolicy(tuned=True)`` resolves the plan and policy through
+    the auto-tuner here, *before* the sharded fan-out — workers receive
+    already-concrete arguments.  The resolved configuration is verified
+    bit-identical (per-root sequences included) at trial time, so the
+    yielded pairs match the untuned run exactly (docs/TUNING.md).
     """
+    if kernels is not None and kernels.tuned:
+        from repro.tuning import resolve_run
+
+        plan, kernels = resolve_run(graph, plan, kernels)
     if jobs is not None and jobs > 1:
         from repro.core.sharded import per_root_counts_parallel
 
@@ -466,8 +476,14 @@ def list_embeddings(
 
     Listing materializes every embedding, so both the frontier engine
     and the penultimate batch counter stand aside — enumeration always
-    recurses; the adaptive kernels still apply.
+    recurses; the adaptive kernels still apply.  ``tuned=True`` policies
+    fall back to their base fields here: embeddings are level-ordered
+    tuples, so a tuned plan swap would reorder every tuple.
     """
+    if kernels is not None and kernels.tuned:
+        from dataclasses import replace as _replace
+
+        kernels = _replace(kernels, tuned=False)
     if jobs is not None and jobs > 1:
         from repro.core.sharded import list_embeddings_parallel
 
@@ -562,6 +578,13 @@ def count_multi(
     dispatch policy.  Totals are bit-identical to counting each plan
     independently.
     """
+    if kernels is not None and kernels.tuned:
+        # Multi-pattern trunks share level-0 states across plans; a
+        # per-plan order swap would break the merge, so tuning does not
+        # apply here — run with the concrete base policy instead.
+        from dataclasses import replace as _replace
+
+        kernels = _replace(kernels, tuned=False)
     if jobs is not None and jobs > 1:
         from repro.core.sharded import count_multi_parallel
 

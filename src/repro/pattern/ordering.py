@@ -3,10 +3,10 @@
 "How to compile an optimized execution plan is an extensively studied
 topic" (paper section 2.1, citing AutoMine, GraphZero, GraphPi); the
 greedy connectivity heuristic in :mod:`repro.pattern.compiler` is the
-baseline.  This module adds the studied alternative: enumerate every
-connectivity-preserving order (patterns are tiny, so at most ``k!``) and
-rank them with a symbolic cost model parameterized by the target graph's
-degree statistics.
+baseline.  This module adds the studied alternative: enumerate the
+connectivity-preserving orders (exhaustive for small patterns, a greedy
+beam for ``k >= 7`` where ``k!`` explodes) and rank them with a symbolic
+cost model parameterized by the target graph's degree statistics.
 
 The cost model estimates, level by level:
 
@@ -19,54 +19,115 @@ The cost model estimates, level by level:
   product of candidate sizes);
 * per-node set-operation work (sum of expected input sizes).
 
+Degree skew matters: a vertex reached over an edge is degree-biased, so
+on hub-heavy graphs the operand entering each set op is much larger
+than the mean.  The model therefore carries the p90/p99 degree and the
+hub mass (share of edge endpoints landing on the top-degree vertices)
+and blends them into the per-op operand estimate — a skew-blind model
+cannot discriminate orders on power-law graphs at all.
+
 The total expected work ranks orders; ties break toward the greedy
 heuristic's order.  Orders only change *performance*: the engine result
 is identical for every valid order, which the test suite verifies.
+:func:`rank_vertex_orders` exposes the ranked top-N — the candidate
+pool the measured-trial auto-tuner (:mod:`repro.tuning`) times for
+real.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import permutations
-from math import factorial
+
+import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.pattern.compiler import choose_vertex_order, compile_plan
 from repro.pattern.pattern import Pattern
 from repro.pattern.plan import ExecutionPlan, OpKind
 
-__all__ = ["OrderCostModel", "estimate_plan_cost", "search_vertex_order",
-           "compile_plan_searched"]
+__all__ = ["OrderCostModel", "estimate_plan_cost", "rank_vertex_orders",
+           "search_vertex_order", "compile_plan_searched"]
+
+#: Exhaustive enumeration bound: patterns with ``k >= _BEAM_THRESHOLD``
+#: vertices (``k! > 720``) rank orders through the greedy beam instead.
+_BEAM_THRESHOLD = 7
+
+#: Beam width for the k >= 7 fallback: enough diversity to keep every
+#: plausible prefix alive while bounding work to ``O(k^2 * width)``.
+_BEAM_WIDTH = 32
 
 
 @dataclass(frozen=True)
 class OrderCostModel:
-    """Degree statistics of the target graph driving the estimates."""
+    """Degree statistics of the target graph driving the estimates.
+
+    ``p90_degree``/``p99_degree``/``hub_mass`` refine the skew picture;
+    zero values (the pre-skew default) fall back to ``avg_degree`` so a
+    bare ``OrderCostModel(n, d)`` still behaves like the original
+    two-parameter model.
+    """
 
     num_vertices: int
     avg_degree: float
+    p90_degree: float = 0.0
+    p99_degree: float = 0.0
+    hub_mass: float = 0.0
 
     @classmethod
     def from_graph(cls, graph: CSRGraph) -> "OrderCostModel":
+        n = max(1, graph.num_vertices)
+        degrees = graph.degrees()
+        if degrees.size == 0 or graph.num_edges == 0:
+            return cls(num_vertices=n, avg_degree=1.0)
+        p90 = float(np.percentile(degrees, 90))
+        p99 = float(np.percentile(degrees, 99))
+        # Hub mass: the share of edge endpoints landing on the top-1%
+        # highest-degree vertices (at least one) — the probability that
+        # a vertex reached *over an edge* is a hub.
+        num_hubs = max(1, n // 100)
+        top = np.sort(degrees)[-num_hubs:]
+        mass = float(top.sum()) / float(degrees.sum())
         return cls(
-            num_vertices=max(1, graph.num_vertices),
+            num_vertices=n,
             avg_degree=max(1.0, graph.avg_degree()),
+            p90_degree=max(1.0, p90),
+            p99_degree=max(1.0, p99),
+            hub_mass=round(mass, 6),
         )
 
     @classmethod
     def default(cls) -> "OrderCostModel":
         """A generic sparse-graph assumption when no graph is given."""
-        return cls(num_vertices=100_000, avg_degree=16.0)
+        return cls(
+            num_vertices=100_000, avg_degree=16.0,
+            p90_degree=48.0, p99_degree=256.0, hub_mass=0.1,
+        )
 
     @property
     def density(self) -> float:
         return min(1.0, self.avg_degree / self.num_vertices)
 
+    @property
+    def edge_degree(self) -> float:
+        """Expected neighbor-list length of a vertex reached over an
+        edge: the mean blended toward the tail by the hub mass."""
+        tail = self.p99_degree if self.p99_degree > 0 else self.avg_degree
+        return (1.0 - self.hub_mass) * self.avg_degree + self.hub_mass * tail
+
+    @property
+    def init_degree(self) -> float:
+        """Expected size of a freshly-initialized candidate set (a copy
+        of a bound vertex's neighbor list)."""
+        bulk = self.p90_degree if self.p90_degree > 0 else self.avg_degree
+        return (1.0 - self.hub_mass) * self.avg_degree + self.hub_mass * bulk
+
 
 def estimate_plan_cost(plan: ExecutionPlan, model: OrderCostModel) -> float:
     """Expected total set-operation work of one compiled plan."""
     n = model.num_vertices
-    d = model.avg_degree
+    d_init = model.init_degree
+    d_edge = model.edge_degree
     p = model.density
     # Expected size of each symbolic state.
     size: dict[int, float] = {}
@@ -79,21 +140,146 @@ def estimate_plan_cost(plan: ExecutionPlan, model: OrderCostModel) -> float:
         level_work = 0.0
         for op in sched.ops:
             if op.kind is OpKind.INIT_COPY:
-                size[op.result_state] = d
-                level_work += d
+                size[op.result_state] = d_init
+                level_work += d_init
             else:
-                src = size.get(op.source_state, d)
+                src = size.get(op.source_state, d_init)
                 if op.kind is OpKind.INTERSECT:
                     size[op.result_state] = src * p
                 else:
                     size[op.result_state] = src * (1.0 - p)
-                level_work += src + d
+                level_work += src + d_edge
         total += nodes * level_work
-        cand = size.get(sched.extend_state, d)
+        cand = size.get(sched.extend_state, d_init)
         nxt = sched.level + 1
         damping = 1.0 + len(plan.lower_bound_levels(nxt))
         nodes *= max(cand / damping, 1e-9)
     return total
+
+
+def _candidate_orders(
+    pattern: Pattern,
+    model: OrderCostModel,
+    *,
+    first_vertices: frozenset[int] | None,
+) -> list[tuple[int, ...]]:
+    """Every order worth costing exactly: exhaustive below the cap,
+    the greedy beam's survivors at and above it."""
+    k = pattern.num_vertices
+    if k < _BEAM_THRESHOLD:
+        return [
+            perm
+            for perm in permutations(range(k))
+            if (first_vertices is None or perm[0] in first_vertices)
+            and _connectivity_preserving(pattern, perm)
+        ]
+    return _beam_orders(pattern, model, first_vertices=first_vertices)
+
+
+def _beam_orders(
+    pattern: Pattern,
+    model: OrderCostModel,
+    *,
+    first_vertices: frozenset[int] | None,
+    width: int = _BEAM_WIDTH,
+) -> list[tuple[int, ...]]:
+    """Greedy beam over order prefixes for large patterns.
+
+    Scores a prefix with the same size recurrence the exact model uses,
+    minus restriction damping (restrictions depend on the completed
+    order) — cheap enough to avoid compiling ``k!`` plans while keeping
+    every plausible prefix alive.  The greedy heuristic's order is
+    force-included so the beam can never do worse than the baseline.
+    """
+    k = pattern.num_vertices
+    d_init = model.init_degree
+    d_edge = model.edge_degree
+    p = model.density
+    starts = range(k) if first_vertices is None else sorted(first_vertices)
+    # (cost, nodes, cand, order, placed) — candidate-set size carries
+    # across extensions exactly like the exact model's running product.
+    beam = [(0.0, float(model.num_vertices), d_init, (v,), 1 << v)
+            for v in starts]
+    for _ in range(k - 1):
+        extended = []
+        for cost, nodes, cand, order, placed in beam:
+            for v in range(k):
+                if placed & (1 << v):
+                    continue
+                back = sum(
+                    1 for u in order if pattern.has_edge(u, v)
+                )
+                if back == 0:
+                    continue
+                # One init + (back - 1) intersections against earlier
+                # neighbor lists, each shrinking the running set by the
+                # density; non-adjacent earlier vertices subtract under
+                # vertex-induced semantics without first-order work.
+                work = d_init
+                size = d_init
+                for _ in range(back - 1):
+                    work += size + d_edge
+                    size *= p
+                extended.append((
+                    cost + nodes * work,
+                    nodes * max(size, 1e-9),
+                    size,
+                    order + (v,),
+                    placed | (1 << v),
+                ))
+        extended.sort(key=lambda s: (s[0], s[3]))
+        beam = extended[:width]
+    orders = [state[3] for state in beam]
+    greedy = choose_vertex_order(pattern)
+    if (
+        (first_vertices is None or greedy[0] in first_vertices)
+        and greedy not in orders
+    ):
+        orders.append(tuple(greedy))
+    return orders
+
+
+def rank_vertex_orders(
+    pattern: Pattern,
+    *,
+    model: OrderCostModel | None = None,
+    top_n: int = 4,
+    vertex_induced: bool = True,
+    first_vertices: frozenset[int] | None = None,
+) -> list[tuple[int, ...]]:
+    """The ``top_n`` connectivity-preserving orders by modeled cost.
+
+    Candidates come from exhaustive enumeration for ``k < 7`` and from
+    the greedy beam above that (:data:`_BEAM_THRESHOLD`); each surviving
+    order is compiled and costed exactly.  ``first_vertices`` restricts
+    the level-0 vertex — the auto-tuner passes the reference order's
+    root so every candidate keeps the same per-root attribution
+    candidates.  The greedy heuristic's order always ranks (first among
+    equal costs), so a caller taking ``[0]`` can never regress below
+    the baseline model-wise.
+    """
+    model = model or OrderCostModel.default()
+    k = pattern.num_vertices
+    if k == 1:
+        return [(0,)]
+    if not pattern.is_connected():
+        raise ValueError("pattern-aware mining requires a connected pattern")
+    greedy = tuple(choose_vertex_order(pattern))
+    candidates = _candidate_orders(
+        pattern, model, first_vertices=first_vertices
+    )
+    if (
+        (first_vertices is None or greedy[0] in first_vertices)
+        and greedy not in candidates
+    ):
+        candidates.append(greedy)
+    scored = []
+    for order in candidates:
+        plan = compile_plan(pattern, order=order, vertex_induced=vertex_induced)
+        cost = estimate_plan_cost(plan, model)
+        scored.append((cost, order != greedy, order))
+    scored.sort()
+    return [order for _, _, order in scored[:max(1, top_n)]]
 
 
 def search_vertex_order(
@@ -104,32 +290,13 @@ def search_vertex_order(
 ) -> tuple[int, ...]:
     """Best connectivity-preserving order under the cost model.
 
-    Exhaustive over ``k!`` candidate orders (patterns have ``k <= ~6``);
-    invalid (non-connectivity-preserving) orders are skipped.
+    Exhaustive over the ``k!`` candidate orders for ``k < 7``; larger
+    patterns (5040+ permutations) go through the greedy beam — see
+    :func:`rank_vertex_orders`, of which this is the top-1 shorthand.
     """
-    model = model or OrderCostModel.default()
-    k = pattern.num_vertices
-    if k == 1:
-        return (0,)
-    if not pattern.is_connected():
-        raise ValueError("pattern-aware mining requires a connected pattern")
-    greedy = choose_vertex_order(pattern)
-    best_order = greedy
-    best_cost = estimate_plan_cost(
-        compile_plan(pattern, order=greedy, vertex_induced=vertex_induced),
-        model,
-    )
-    for perm in permutations(range(k)):
-        if perm == greedy:
-            continue
-        if not _connectivity_preserving(pattern, perm):
-            continue
-        plan = compile_plan(pattern, order=perm, vertex_induced=vertex_induced)
-        cost = estimate_plan_cost(plan, model)
-        if cost < best_cost:
-            best_cost = cost
-            best_order = perm
-    return tuple(best_order)
+    return rank_vertex_orders(
+        pattern, model=model, top_n=1, vertex_induced=vertex_induced
+    )[0]
 
 
 def compile_plan_searched(

@@ -55,6 +55,7 @@ __all__ = [
     "is_active",
     "payload_digest",
     "remove_probe_hook",
+    "suspended",
 ]
 
 _ENV_VAR = "REPRO_SANITIZE"
@@ -62,6 +63,10 @@ _ENV_VAR = "REPRO_SANITIZE"
 #: Fast-path flag: probes check this before paying for a digest.
 _ACTIVE = False
 _EVENTS: list["TraceEvent"] | None = None
+
+#: While set, probes are silenced entirely (no trace events, no hook
+#: notifications) — see :func:`suspended`.
+_SUSPENDED = False
 
 #: Probe-hook bus: listeners that observe every probe firing (kind,
 #: label) without a capture being armed.  The fault-injection framework
@@ -120,7 +125,10 @@ def env_enabled() -> bool:
 
 def is_active() -> bool:
     """Whether probes should fire: a :func:`capture` is recording, or a
-    probe hook (e.g. an installed fault plan) is listening."""
+    probe hook (e.g. an installed fault plan) is listening — and probes
+    are not :func:`suspended`."""
+    if _SUSPENDED:
+        return False
     return _ACTIVE or bool(_PROBE_HOOKS)
 
 
@@ -187,6 +195,8 @@ def emit(kind: str, label: str, payload: Any = _NO_PAYLOAD) -> None:
     Trace recording still requires an armed :func:`capture`; hooks see
     every firing regardless.
     """
+    if _SUSPENDED:
+        return
     for hook in _PROBE_HOOKS:
         hook(kind, label)
     if not _ACTIVE or _EVENTS is None:
@@ -218,6 +228,26 @@ def capture() -> Iterator[Trace]:
     finally:
         _ACTIVE = False
         _EVENTS = None
+
+
+@contextmanager
+def suspended() -> Iterator[None]:
+    """Silence every probe (trace events *and* hook notifications).
+
+    The auto-tuner (:mod:`repro.tuning`) wraps its measured trials in
+    this: trial executions are measurement scaffolding that runs only
+    when the tuned-choice store is cold, so under a sanitized double-run
+    they would diverge the cold trace from the warm one.  Suspension
+    nests inside a :func:`capture` and restores the prior state on exit;
+    the resolved choice itself executes fully probed.
+    """
+    global _SUSPENDED
+    prior = _SUSPENDED
+    _SUSPENDED = True
+    try:
+        yield
+    finally:
+        _SUSPENDED = prior
 
 
 def compare_traces(

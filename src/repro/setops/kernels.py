@@ -346,6 +346,17 @@ class KernelPolicy:
         (:meth:`repro.graph.csr.CSRGraph.adjacency_bitmap`) the
         segmented dispatch may build; larger graphs fall back to the
         edge-key / bisect kernels.
+    tuned:
+        Opt into the measured-trial auto-tuner (:mod:`repro.tuning`,
+        docs/TUNING.md): counting runs resolve this policy — and the
+        plan's vertex order — against the persistent tuned-choice store
+        for the (pattern, graph signature) at hand, falling back to
+        measured trials on a cold store.  The remaining fields act as
+        the *base* policy the tuner seeds its candidate grid from and
+        the reference candidate trials are compared against.  Like every
+        other knob, ``tuned`` is functional-only: resolved choices are
+        verified bit-identical (including per-root sequences) during
+        trials.
 
     Every policy produces bit-identical results; only speed changes.
     """
@@ -362,6 +373,7 @@ class KernelPolicy:
     frontier_budget_bytes: int = 128 << 20
     force_segment_kernel: str | None = None
     segment_bitmap_bytes: int = 16 << 20
+    tuned: bool = False
 
     def __post_init__(self) -> None:
         if self.force_kernel is not None and self.force_kernel not in KERNEL_NAMES:

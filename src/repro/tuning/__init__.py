@@ -1,0 +1,67 @@
+"""Input-aware auto-tuning: measured-trial plan & kernel-policy selection.
+
+The plan compiler picks one vertex order per pattern and the kernel
+dispatch one default policy per run — input-blind choices that G2Miner
+and the AutoMine line of work show are worth integer factors when made
+per (pattern, graph).  This package closes that loop (docs/TUNING.md):
+
+:mod:`~repro.tuning.signature`
+    A cheap, deterministic graph signature (counts, degree deciles, hub
+    mass, bitmap fit) computed once per :class:`~repro.graph.csr.CSRGraph`.
+:mod:`~repro.tuning.candidates`
+    Top-N cost-model vertex orders × a small signature-gated
+    :class:`~repro.setops.kernels.KernelPolicy` grid.
+:mod:`~repro.tuning.tuner`
+    Successive-halving measured trials on deterministic sampled roots,
+    bit-identity (per-root sequences) enforced on every candidate.
+:mod:`~repro.tuning.store`
+    The persisted :class:`TunedChoice` per (pattern signature, graph
+    signature, tuner version), riding the versioned disk cache.
+
+Opt in with ``KernelPolicy(tuned=True)`` anywhere a policy goes —
+``count_embeddings``, ``FunctionalConfig``, sweep specs — or drive the
+tuner directly with ``python -m repro tune``.
+"""
+
+from repro.tuning.candidates import (
+    TunerCandidate,
+    generate_candidates,
+    original_pattern,
+    policy_grid,
+)
+from repro.tuning.signature import GraphSignature, graph_signature
+from repro.tuning.store import (
+    TUNER_VERSION,
+    TunedChoice,
+    choice_key,
+    load_choice,
+    save_choice,
+    tuning_cache,
+)
+from repro.tuning.tuner import (
+    TuningStats,
+    reset_tuning_stats,
+    resolve_run,
+    tune_plan,
+    tuning_stats,
+)
+
+__all__ = [
+    "GraphSignature",
+    "TUNER_VERSION",
+    "TunedChoice",
+    "TunerCandidate",
+    "TuningStats",
+    "choice_key",
+    "generate_candidates",
+    "graph_signature",
+    "load_choice",
+    "original_pattern",
+    "policy_grid",
+    "reset_tuning_stats",
+    "resolve_run",
+    "save_choice",
+    "tune_plan",
+    "tuning_cache",
+    "tuning_stats",
+]

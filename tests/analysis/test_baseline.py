@@ -23,7 +23,7 @@ def test_round_trip_suppresses_the_snapshotted_findings(tmp_path):
     findings = findings_for()
     assert findings, "fixture must produce findings"
     path = tmp_path / "baseline.json"
-    write_baseline(path, findings)
+    write_baseline(path, findings, reason="test: fixture findings")
 
     baseline = load_baseline(path)
     assert len(baseline) == len(findings)
@@ -34,7 +34,7 @@ def test_round_trip_suppresses_the_snapshotted_findings(tmp_path):
 
 def test_new_findings_stay_fresh_against_old_baseline(tmp_path):
     path = tmp_path / "baseline.json"
-    write_baseline(path, findings_for())
+    write_baseline(path, findings_for(), reason="test: fixture findings")
     two = findings_for(SNIPPET + "T = random.random()\n")
     fresh, suppressed = partition(two, load_baseline(path))
     assert len(suppressed) == 1
@@ -73,14 +73,14 @@ def test_malformed_baseline_raises(tmp_path):
 
 def test_written_file_is_stable_and_documented(tmp_path):
     path = tmp_path / "baseline.json"
-    write_baseline(path, findings_for())
+    write_baseline(path, findings_for(), reason="test: fixture findings")
     data = json.loads(path.read_text())
     assert data["version"] == 1
     for entry in data["entries"].values():
         assert {"rule", "path", "snippet", "message", "reason"} <= set(entry)
     # Re-writing the same findings produces byte-identical output.
     first = path.read_text()
-    write_baseline(path, findings_for())
+    write_baseline(path, findings_for(), reason="test: fixture findings")
     assert path.read_text() == first
 
 
@@ -106,3 +106,28 @@ def test_committed_baseline_entries_are_documented():
         assert "TODO" not in entry["reason"], (
             f"baseline entry {fp} has an undocumented reason"
         )
+
+
+def test_write_baseline_rejects_missing_or_todo_reason(tmp_path):
+    path = tmp_path / "baseline.json"
+    with pytest.raises(TypeError):
+        write_baseline(path, findings_for())
+    with pytest.raises(ValueError, match="real reason"):
+        write_baseline(path, findings_for(), reason="   ")
+    with pytest.raises(ValueError, match="real reason"):
+        write_baseline(path, findings_for(), reason="TODO: later")
+    assert not path.exists()
+
+
+def test_undocumented_entries_flags_empty_and_todo_reasons(tmp_path):
+    from repro.analysis.baseline import undocumented_entries
+
+    path = tmp_path / "baseline.json"
+    write_baseline(path, findings_for(), reason="test: fixture findings")
+    baseline = load_baseline(path)
+    assert undocumented_entries(baseline) == {}
+    fp = next(iter(baseline.entries))
+    baseline.entries[fp]["reason"] = "todo: document why"
+    assert set(undocumented_entries(baseline)) == {fp}
+    baseline.entries[fp]["reason"] = ""
+    assert set(undocumented_entries(baseline)) == {fp}

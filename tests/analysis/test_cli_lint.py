@@ -36,7 +36,7 @@ def test_lint_json_output(dirty_tree, capsys):
 
 
 def test_lint_write_baseline_then_clean(dirty_tree, capsys):
-    assert main(["lint", "--write-baseline", str(dirty_tree)]) == 0
+    assert main(["lint", "--write-baseline", "--reason", "test fixture", str(dirty_tree)]) == 0
     capsys.readouterr()
     assert main(["lint", str(dirty_tree)]) == 0
     out = capsys.readouterr().out
@@ -45,7 +45,7 @@ def test_lint_write_baseline_then_clean(dirty_tree, capsys):
 
 
 def test_lint_no_baseline_overrides_suppression(dirty_tree, capsys):
-    assert main(["lint", "--write-baseline", str(dirty_tree)]) == 0
+    assert main(["lint", "--write-baseline", "--reason", "test fixture", str(dirty_tree)]) == 0
     assert main(["lint", "--no-baseline", str(dirty_tree)]) == 1
 
 
@@ -89,3 +89,25 @@ def test_lint_malformed_baseline_is_an_error(dirty_tree, tmp_path, capsys):
     bad.write_text("{nope")
     assert main(["lint", "--baseline", str(bad), str(dirty_tree)]) == 2
     assert "baseline" in capsys.readouterr().err
+
+
+def test_lint_write_baseline_requires_reason(dirty_tree, capsys):
+    assert main(["lint", "--write-baseline", str(dirty_tree)]) == 2
+    assert "--reason" in capsys.readouterr().err
+
+
+def test_check_unused_baseline_flags_todo_reasons(dirty_tree, capsys):
+    assert main(["lint", "--write-baseline", "--reason", "test fixture",
+                 str(dirty_tree)]) == 0
+    capsys.readouterr()
+    baseline = json.loads(
+        open(".repro-lint-baseline.json").read()
+    )
+    for entry in baseline["entries"].values():
+        entry["reason"] = "TODO: document why this finding is intentional"
+    with open(".repro-lint-baseline.json", "w") as fh:
+        json.dump(baseline, fh)
+    assert main(["lint", str(dirty_tree), "--check-unused-baseline"]) == 1
+    err = capsys.readouterr().err
+    assert "undocumented baseline entry" in err
+    assert "TODO" in err

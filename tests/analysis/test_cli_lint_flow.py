@@ -39,7 +39,7 @@ def test_lint_flow_text_output(flowtree, capsys):
 def test_lint_flow_write_baseline_then_clean(flowtree, tmp_path, capsys):
     baseline = tmp_path / "flow-baseline.json"
     assert main([
-        "lint-flow", flowtree, "--write-baseline",
+        "lint-flow", flowtree, "--write-baseline", "--reason", "test fixture",
         "--baseline", str(baseline),
     ]) == 0
     capsys.readouterr()
@@ -57,7 +57,7 @@ def test_lint_flow_check_unused_baseline_fails_on_stale(
     --check-unused-baseline is given."""
     baseline = tmp_path / "flow-baseline.json"
     assert main([
-        "lint-flow", flowtree, "--write-baseline",
+        "lint-flow", flowtree, "--write-baseline", "--reason", "test fixture",
         "--baseline", str(baseline),
     ]) == 0
     capsys.readouterr()
@@ -83,7 +83,7 @@ def test_lint_check_unused_baseline_clean_on_live_entries(
 ):
     baseline = tmp_path / "flow-baseline.json"
     assert main([
-        "lint-flow", flowtree, "--write-baseline",
+        "lint-flow", flowtree, "--write-baseline", "--reason", "test fixture",
         "--baseline", str(baseline),
     ]) == 0
     capsys.readouterr()
@@ -113,7 +113,8 @@ def test_tier_a_lint_also_supports_unused_check(tmp_path, monkeypatch, capsys):
     monkeypatch.chdir(tmp_path)
     baseline = tmp_path / "baseline.json"
     assert main([
-        "lint", str(pkg), "--write-baseline", "--baseline", str(baseline),
+        "lint", str(pkg), "--write-baseline", "--reason", "test fixture",
+        "--baseline", str(baseline),
     ]) == 0
     capsys.readouterr()
     snippet.write_text("def pick(items):\n    return items[0]\n")

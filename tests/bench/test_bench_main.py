@@ -18,11 +18,16 @@ class TestRegistry:
 
 
 class TestMain:
-    def test_only_table2(self, capsys, tmp_path):
-        assert main(["--only", "table2", "--out", str(tmp_path)]) == 0
+    def test_only_table2(self, capsys):
+        assert main(["--only", "table2"]) == 0
         out = capsys.readouterr().out
         assert "=== table2" in out
-        assert (tmp_path / "table2.txt").exists()
+
+    def test_out_flag_is_retired(self, tmp_path):
+        # Text artifacts come from `repro exp report --format txt` now;
+        # the bench driver is print-only.
+        with pytest.raises(SystemExit):
+            main(["--only", "table2", "--out", str(tmp_path)])
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):

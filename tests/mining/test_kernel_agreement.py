@@ -140,3 +140,85 @@ def test_batcher_respects_roots_subset():
     assert count_embeddings(graph, plan, roots=roots) == count_embeddings(
         graph, plan, roots=roots, kernels=LEGACY
     )
+
+
+@pytest.mark.parametrize("vertex_induced", [True, False])
+@pytest.mark.parametrize("pattern", sorted(all_named_patterns()))
+def test_searched_order_counts_identical(pattern, vertex_induced):
+    """A cost-model-searched vertex order never changes totals — on
+    either engine (the order swap the auto-tuner builds on)."""
+    from repro.pattern.ordering import compile_plan_searched
+
+    graph = GRAPHS["er"]
+    reference = count_embeddings(
+        graph,
+        compile_plan(named_pattern(pattern), vertex_induced=vertex_induced),
+        kernels=LEGACY,
+    )
+    searched = compile_plan_searched(
+        named_pattern(pattern), graph=graph, vertex_induced=vertex_induced
+    )
+    for engine in ("frontier", "recursive"):
+        got = count_embeddings(
+            graph, searched, kernels=KernelPolicy(engine=engine)
+        )
+        assert got == reference, (
+            f"{pattern} searched order {searched.vertex_order} on "
+            f"{engine}: counted {got}, legacy counted {reference}"
+        )
+
+
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+@pytest.mark.parametrize("pattern", sorted(all_named_patterns()))
+def test_every_tuner_candidate_counts_identical(pattern, graph_name):
+    """Every candidate the tuner could trial — each ranked order × each
+    gridded policy — produces the reference total on both engines.
+
+    The tuner additionally rejects candidates whose *per-root* pairs
+    diverge (re-rooted attribution); totals must agree even for those.
+    """
+    from repro.pattern.compiler import compile_plan as _compile
+    from repro.tuning import generate_candidates, original_pattern
+
+    graph = GRAPHS[graph_name]
+    plan = compile_plan(named_pattern(pattern))
+    reference = count_embeddings(graph, plan, kernels=LEGACY)
+    candidates = generate_candidates(graph, plan, KernelPolicy())
+    assert candidates[0].label == "reference"
+    for candidate in candidates:
+        cand_plan = _compile(
+            original_pattern(plan),
+            order=candidate.order,
+            vertex_induced=plan.vertex_induced,
+        )
+        got = count_embeddings(graph, cand_plan, kernels=candidate.policy)
+        assert got == reference, (
+            f"{pattern} on {graph_name}: candidate {candidate.label} "
+            f"(order {candidate.order}) counted {got}, legacy "
+            f"counted {reference}"
+        )
+
+
+@pytest.mark.parametrize("engine", ["frontier", "recursive"])
+@pytest.mark.parametrize("pattern", ["tc", "tt", "cyc", "house"])
+def test_tuned_policy_counts_and_roots_identical(pattern, engine):
+    """KernelPolicy(tuned=True) resolves to a plan/policy whose totals
+    AND per-root sequences match the untuned run on either base engine."""
+    graph = GRAPHS["er"]
+    plan = compile_plan(named_pattern(pattern))
+    tuned = KernelPolicy(engine=engine, tuned=True)
+    reference = count_embeddings(graph, plan, kernels=LEGACY)
+    assert count_embeddings(graph, plan, kernels=tuned) == reference
+    assert list(per_root_counts(graph, plan, kernels=tuned)) == list(
+        per_root_counts(graph, plan, kernels=LEGACY)
+    )
+
+
+def test_tuned_listing_matches_untuned():
+    """Listing strips the tuned flag: embeddings come back in the
+    reference plan's order, not the tuned plan's."""
+    graph = GRAPHS["ba"]
+    plan = compile_plan(named_pattern("tt"))
+    assert list_embeddings(
+        graph, plan, kernels=KernelPolicy(tuned=True)
+    ) == list_embeddings(graph, plan, kernels=LEGACY)

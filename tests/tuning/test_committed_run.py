@@ -1,0 +1,81 @@
+"""The committed engine-autotune store run backs the tuner's claim.
+
+``benchmarks/results/store/engine-autotune.jsonl`` is produced by
+``make bench-autotune`` (warm tuned-choice store, then an uncached
+sweep, so tuned wall times exclude trial cost) and committed.  These
+checks pin the two properties the run exists to demonstrate
+(docs/TUNING.md): tuned cells count bit-identically to default cells,
+and the measured win clears the documented floor on the majority of
+swept patterns.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+
+STORE = (
+    Path(repro.__file__).resolve().parent.parent.parent
+    / "benchmarks" / "results" / "store" / "engine-autotune.jsonl"
+)
+
+#: The committed run must beat default by at least this factor on at
+#: least :data:`MIN_WINNING_PATTERNS` patterns.
+SPEEDUP_FLOOR = 1.3
+MIN_WINNING_PATTERNS = 2
+
+
+def _rows():
+    if not STORE.exists():
+        pytest.skip("not running from a repo checkout")
+    return [
+        json.loads(line)
+        for line in STORE.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+def _latest_cells(rows):
+    latest = {}
+    for row in rows:
+        latest[(row["pattern"], row["graph"], row["policy"])] = row
+    return latest
+
+
+def test_run_covers_default_and_tuned_for_every_pattern():
+    cells = _latest_cells(_rows())
+    patterns = {p for p, _, _ in cells}
+    assert len(patterns) >= 2
+    for pattern in patterns:
+        for policy in ("default", "tuned"):
+            assert (pattern, "er300", policy) in cells, (
+                f"missing {policy} cell for {pattern}"
+            )
+
+
+def test_tuned_counts_are_bit_identical_to_default():
+    cells = _latest_cells(_rows())
+    for pattern in {p for p, _, _ in cells}:
+        default = cells[(pattern, "er300", "default")]
+        tuned = cells[(pattern, "er300", "tuned")]
+        assert default["status"] == tuned["status"] == "ok"
+        assert tuned["count"] == default["count"], pattern
+        assert tuned["counts"] == default["counts"], pattern
+
+
+def test_tuned_beats_default_on_enough_patterns():
+    cells = _latest_cells(_rows())
+    speedups = {}
+    for pattern in {p for p, _, _ in cells}:
+        default = cells[(pattern, "er300", "default")]
+        tuned = cells[(pattern, "er300", "tuned")]
+        assert tuned["wall_time_s"] > 0
+        speedups[pattern] = default["wall_time_s"] / tuned["wall_time_s"]
+    winners = [p for p, s in speedups.items() if s >= SPEEDUP_FLOOR]
+    assert len(winners) >= MIN_WINNING_PATTERNS, (
+        f"tuned speedups {speedups} clear {SPEEDUP_FLOOR}x on only "
+        f"{len(winners)} pattern(s); re-run 'make bench-autotune' on "
+        f"an unloaded host"
+    )

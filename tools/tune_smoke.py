@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""The auto-tuner persistence gate (``make tune-smoke``).
+
+Exercises the tuned-choice store's core contract end to end in a cold,
+isolated cache directory (docs/TUNING.md, "Persistence and
+invalidation"):
+
+1. **Cold tune** — ``tune_plan`` on a cold store must run measured
+   trials and persist the winning choice.
+2. **Warm reuse, new process** — a second interpreter resolving the
+   same cell must perform *zero* trials: the decision comes back from
+   the persistent store, and it is the same decision.
+3. **Functional equivalence** — counting with ``tuned=True`` must match
+   the untuned count bit for bit.
+
+Exit code 0 when every check holds; the failing check's message
+otherwise.  CI runs this before the autotune report sweep so a
+persistence regression fails fast instead of silently re-trialing
+inside every sweep cell.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+PATTERN = "tt"
+DATASET = "er120"
+
+_RESOLVE_SNIPPET = """
+import json
+from repro.graph.datasets import load_dataset
+from repro.mining.api import plan_for
+from repro.tuning import reset_tuning_stats, tune_plan, tuning_stats
+
+graph = load_dataset({dataset!r})
+plan = plan_for({pattern!r})
+reset_tuning_stats()
+choice = tune_plan(graph, plan)
+stats = tuning_stats()
+print(json.dumps({{
+    "order": list(choice.order),
+    "candidate": choice.candidate_label,
+    "stored_trials": choice.trials,
+    "stats": stats.as_dict(),
+}}))
+"""
+
+
+def _resolve_in_subprocess(cache_dir: str) -> dict:
+    env = dict(os.environ)
+    env["REPRO_CACHE_DIR"] = cache_dir
+    env["PYTHONPATH"] = str(REPO / "src")
+    script = _RESOLVE_SNIPPET.format(dataset=DATASET, pattern=PATTERN)
+    out = subprocess.run(
+        [sys.executable, "-c", script],
+        check=True, capture_output=True, text=True, env=env, cwd=REPO,
+    ).stdout
+    return json.loads(out.strip().splitlines()[-1])
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-tune-smoke-") as cache:
+        print(f"tune-smoke: isolated store at {cache}")
+
+        cold = _resolve_in_subprocess(cache)
+        print(f"cold:  {cold['stats']['trials']} trials, "
+              f"candidate {cold['candidate']!r}")
+        if cold["stats"]["tuned_cells"] != 1 or cold["stats"]["trials"] < 1:
+            print("FAIL: cold-store tune did not run measured trials",
+                  file=sys.stderr)
+            return 1
+
+        warm = _resolve_in_subprocess(cache)
+        print(f"warm:  {warm['stats']['trials']} trials, "
+              f"{warm['stats']['store_hits']} store hit(s)")
+        if warm["stats"]["trials"] != 0:
+            print(f"FAIL: warm-store resolve re-ran "
+                  f"{warm['stats']['trials']} trial(s); the persisted "
+                  f"choice must be reused with zero re-trials",
+                  file=sys.stderr)
+            return 1
+        if warm["stats"]["store_hits"] != 1:
+            print("FAIL: warm-store resolve did not hit the persistent "
+                  "store", file=sys.stderr)
+            return 1
+        if (warm["order"], warm["candidate"]) != (
+            cold["order"], cold["candidate"]
+        ):
+            print("FAIL: warm-store choice differs from the cold one",
+                  file=sys.stderr)
+            return 1
+
+        env = dict(os.environ)
+        env["REPRO_CACHE_DIR"] = cache
+        env["PYTHONPATH"] = str(REPO / "src")
+        counts = subprocess.run(
+            [sys.executable, "-c", (
+                "from repro.graph.datasets import load_dataset\n"
+                "from repro.mining.api import plan_for\n"
+                "from repro.mining.engine import count_embeddings\n"
+                "from repro.setops.kernels import KernelPolicy\n"
+                f"graph = load_dataset({DATASET!r})\n"
+                f"plan = plan_for({PATTERN!r})\n"
+                "base = count_embeddings(graph, plan)\n"
+                "tuned = count_embeddings(graph, plan, "
+                "kernels=KernelPolicy(tuned=True))\n"
+                "print(base, tuned)\n"
+            )],
+            check=True, capture_output=True, text=True, env=env, cwd=REPO,
+        ).stdout.split()
+        print(f"count: default={counts[0]} tuned={counts[1]}")
+        if counts[0] != counts[1]:
+            print("FAIL: tuned count diverges from the default count",
+                  file=sys.stderr)
+            return 1
+
+    print("tune-smoke: OK (cold trials, warm zero-re-trial reuse, "
+          "bit-identical counts)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
